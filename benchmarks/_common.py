@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one experiment from the index in
+DESIGN.md §3 (the paper has no measurement tables, so the reproduction
+targets are the theorem statements).  Conventions:
+
+- every bench prints a paper-style table (via
+  :class:`repro.experiments.harness.Table`) with the measured rows;
+- the *shape* assertions (who wins, what scales how) are hard asserts —
+  a bench failing means the reproduction claim broke;
+- ``benchmark.pedantic(fn, rounds=1, iterations=1)`` wraps the experiment
+  so pytest-benchmark records wall-clock without re-running heavy sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def seeded(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

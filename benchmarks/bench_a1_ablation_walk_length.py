@@ -1,0 +1,51 @@
+"""A1 — Ablation: the √ℓ speed-up of longer walks (Kwok–Lau, Lemma 2.2).
+
+Paper mechanism: each evolution multiplies the conductance by
+``Ω(√ℓ)``, so the number of evolutions to reach constant conductance
+should *decrease* as the walk length ``ℓ`` grows (the reason the hybrid
+variant's ``ℓ = Θ(Λ²)`` yields ``O(log m / log log n)`` evolutions).
+
+Measured here: evolutions until the spectral gap reaches a fixed
+threshold on a fixed line input, for ``ℓ ∈ {2, 4, 8, 16, 32}``.
+"""
+
+from _common import run_once, seeded
+from repro.core.benign import make_benign
+from repro.core.expander import ExpanderBuilder
+from repro.core.params import ExpanderParams
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+from repro.graphs.spectral import spectral_gap
+
+
+def bench_a1_evolutions_vs_ell(benchmark):
+    def experiment():
+        n = 256
+        threshold = 0.05
+        table = Table(
+            "A1: evolutions to reach gap 0.05 vs walk length (line 256)",
+            ["ell", "evolutions", "final_gap", "walk_rounds_total"],
+        )
+        rows = []
+        for ell in (2, 4, 8, 16, 32):
+            params = ExpanderParams.recommended(n, ell=ell)
+            base, _ = make_benign(G.line_graph(n), params)
+            builder = ExpanderBuilder(base, params, seeded(ell))
+            evolutions = 0
+            gap = spectral_gap(base)
+            while gap < threshold and evolutions < 60:
+                builder.step()
+                evolutions += 1
+                gap = spectral_gap(builder.current)
+            table.add(ell, evolutions, gap, evolutions * (ell + 1))
+            rows.append((ell, evolutions))
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    evolutions = [e for _ell, e in rows]
+    # Longer walks need fewer evolutions, monotonically (up to one
+    # plateau step of noise).
+    assert evolutions[0] > evolutions[-1]
+    for a, b in zip(evolutions, evolutions[1:]):
+        assert b <= a + 1

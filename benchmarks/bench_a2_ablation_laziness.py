@@ -1,0 +1,69 @@
+"""A2 — Ablation: why benign graphs must be lazy (Definition 2.1).
+
+Paper rationale: *"If the graphs were not lazy, many theorems from the
+analysis of Markov chains would not hold as the graph could be
+bipartite."*  On a bipartite graph, non-lazy walks of even length ``ℓ``
+can only end on the starting side — every sampled edge stays within one
+parity class and the evolution disconnects the two sides from each other.
+
+Measured here: one evolution on an even cycle, with and without self-
+loops, using even-length walks.  The fraction of created edges that cross
+the parity classes collapses to 0 without laziness and stays ~1/2 with
+it.
+"""
+
+import numpy as np
+
+from _common import run_once, seeded
+from repro.core.expander import ExpanderBuilder
+from repro.core.params import ExpanderParams
+from repro.experiments.harness import Table
+from repro.graphs.portgraph import PortGraph
+
+
+def _even_cycle_ports(n: int, delta: int, lazy: bool) -> PortGraph:
+    """Even cycle with every edge copied to fill delta (lazy=False) or
+    half of delta (lazy=True, rest self-loops)."""
+    copies = (delta // 2) // 2 if lazy else delta // 2
+    ends_a = np.repeat(np.arange(n), copies)
+    ends_b = np.repeat((np.arange(n) + 1) % n, copies)
+    return PortGraph.from_edge_multiset(
+        n=n, delta=delta, endpoints_a=ends_a, endpoints_b=ends_b
+    )
+
+
+def _parity_crossing_fraction(graph: PortGraph) -> float:
+    total = 0
+    crossing = 0
+    for v, u in graph.edge_multiset():
+        total += 1
+        if (v % 2) != (u % 2):
+            crossing += 1
+    return crossing / max(1, total)
+
+
+def bench_a2_laziness(benchmark):
+    def experiment():
+        n, delta = 32, 32
+        params = ExpanderParams(delta=delta, lam=2, ell=8, num_evolutions=1)
+        table = Table(
+            "A2: parity-crossing edges after one evolution (even cycle)",
+            ["variant", "self_loops_min", "crossing_fraction"],
+        )
+        results = {}
+        for lazy in (True, False):
+            base = _even_cycle_ports(n, delta, lazy)
+            builder = ExpanderBuilder(base, params, seeded(3))
+            builder.step()
+            frac = _parity_crossing_fraction(builder.current)
+            label = "lazy" if lazy else "non-lazy"
+            table.add(label, int(base.self_loop_counts().min()), frac)
+            results[label] = frac
+        table.show()
+        return results
+
+    results = run_once(benchmark, experiment)
+    # Even-length walks on the bipartite cycle never change parity.
+    assert results["non-lazy"] == 0.0
+    # Lazy walks mix parities (roughly half the edges cross).
+    assert results["lazy"] > 0.25

@@ -1,0 +1,94 @@
+"""E10 — Theorem 1.4: biconnected components, cut vertices, bridges.
+
+Paper claim: the Tarjan–Vishkin adaptation computes the biconnected
+components (plus articulation points and bridges) of any connected graph
+in ``O(log n)`` hybrid rounds.
+
+Measured here: exact agreement with networkx ground truth across a
+workload battery, and ledger round totals scaling logarithmically.
+"""
+
+import math
+
+import networkx as nx
+
+from _common import run_once, seeded
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+from repro.hybrid.biconnectivity import biconnected_components_hybrid
+
+
+CASES = [
+    ("barbell", lambda r: G.barbell(12, 4)),
+    ("lollipop", lambda r: G.lollipop(10, 14)),
+    ("ring_cliques", lambda r: G.ring_of_cliques(6, 6)),
+    ("grid", lambda r: G.grid_2d(8, 8)),
+    ("er_sparse", lambda r: G.erdos_renyi_connected(100, 4.0, r)),
+    ("er_dense", lambda r: G.erdos_renyi_connected(100, 12.0, r)),
+    ("double_star", lambda r: G.double_star(60)),
+]
+
+
+def bench_e10_differential(benchmark):
+    def experiment():
+        table = Table(
+            "E10: biconnectivity vs networkx (Theorem 1.4)",
+            ["workload", "n", "#bcc", "#cuts", "#bridges", "match", "rounds"],
+        )
+        rows = []
+        for name, make in CASES:
+            g = make(seeded(1))
+            res = biconnected_components_hybrid(
+                g, rng=seeded(2), tree_source="bfs"
+            )
+            truth_comps = {
+                frozenset(frozenset(tuple(sorted(e))) for e in comp)
+                for comp in nx.biconnected_component_edges(g)
+            }
+            ours_comps = {
+                frozenset(frozenset(e) for e in comp)
+                for comp in res.components.values()
+            }
+            match = (
+                ours_comps == truth_comps
+                and res.cut_vertices == set(nx.articulation_points(g))
+                and res.bridges == {tuple(sorted(e)) for e in nx.bridges(g)}
+            )
+            table.add(
+                name,
+                g.number_of_nodes(),
+                len(res.components),
+                len(res.cut_vertices),
+                len(res.bridges),
+                match,
+                res.ledger.total_rounds,
+            )
+            rows.append((name, match))
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    assert all(match for _name, match in rows)
+
+
+def bench_e10_rounds_scale(benchmark):
+    def experiment():
+        table = Table(
+            "E10b: hybrid rounds vs n (walk-based spanning tree)",
+            ["n", "rounds", "rounds/log2n"],
+        )
+        data = []
+        for n in (48, 96, 192):
+            g = G.erdos_renyi_connected(n, 6.0, seeded(n))
+            res = biconnected_components_hybrid(
+                g, rng=seeded(n + 1), tree_source="walk"
+            )
+            rounds = res.ledger.total_rounds
+            table.add(n, rounds, rounds / math.log2(n))
+            data.append((n, rounds))
+        table.show()
+        return data
+
+    data = run_once(benchmark, experiment)
+    ratios = [r / math.log2(n) for n, r in data]
+    assert max(ratios) <= 3 * min(ratios)

@@ -1,0 +1,85 @@
+"""E13 — §4.2: spanner outdegree O(log n), connectivity, near-linear size.
+
+Paper claim (via Elkin–Neiman / Miller et al.): the exponential-shift
+spanner has ``O(log n)`` outdegree per node and preserves connectivity;
+the subsequent delegation step yields a graph ``H`` of degree
+``O(log n)`` on which the overlay construction can run.
+
+Measured here: outdegree / edge-count / connectivity across an ``n``
+sweep on dense inputs, plus the degree of ``H`` after reduction.
+"""
+
+import math
+
+from _common import run_once, seeded
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+from repro.graphs.analysis import is_connected
+from repro.hybrid.degree_reduction import reduce_degree
+from repro.hybrid.spanner import build_spanner
+
+
+def bench_e13_spanner_quality(benchmark):
+    def experiment():
+        table = Table(
+            "E13: spanner + degree reduction (§4.2)",
+            [
+                "n",
+                "input_dmax",
+                "connected",
+                "outdeg_max",
+                "outdeg/log2n",
+                "edges/nlog2n",
+                "H_degree",
+            ],
+        )
+        rows = []
+        for n in (128, 256, 512):
+            g = G.erdos_renyi_connected(n, 3 * math.log2(n), seeded(n))
+            rng = seeded(n + 1)
+            sp = build_spanner(g, rng)
+            red = reduce_degree(sp)
+            log_n = math.log2(n)
+            dmax_in = max(d for _, d in g.degree)
+            connected = is_connected(sp.undirected_adjacency())
+            table.add(
+                n,
+                dmax_in,
+                connected,
+                sp.max_outdegree(),
+                sp.max_outdegree() / log_n,
+                sp.num_directed_edges() / (n * log_n),
+                red.max_degree(),
+            )
+            rows.append(
+                (n, connected, sp.max_outdegree(), red.max_degree(), log_n)
+            )
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    for n, connected, outdeg, h_deg, log_n in rows:
+        assert connected
+        assert outdeg <= 6 * log_n, f"n={n}: outdegree superlogarithmic"
+        assert h_deg <= 10 * log_n, f"n={n}: H degree superlogarithmic"
+
+
+def bench_e13_star_collapse(benchmark):
+    def experiment():
+        table = Table(
+            "E13b: hub-degree collapse (star input)",
+            ["n", "hub_degree_before", "hub_degree_after_H"],
+        )
+        rows = []
+        for n in (256, 1024):
+            g = G.star_graph(n)
+            red = reduce_degree(build_spanner(g, seeded(n)))
+            after = len(red.adj[0])
+            table.add(n, n - 1, after)
+            rows.append(after)
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    # The Θ(n) hub degree collapses to a small constant.
+    assert all(after <= 8 for after in rows)

@@ -1,0 +1,94 @@
+"""E14 — Figure 1: the Tarjan–Vishkin edge-grouping rules.
+
+The paper's only figure illustrates the three rules that build the helper
+graph ``G''`` (§4.4).  This bench reconstructs each panel as a concrete
+gadget graph and checks the rules produce exactly the depicted
+connections:
+
+- *left panel* (rule 1): a non-tree edge ``{v, w}`` between different
+  subtrees joins the parent edges of ``v`` and ``w``;
+- *centre panel* (rule 2): a non-tree edge escaping ``v``'s subtree joins
+  the parent edges along the two tree paths to the lowest common
+  ancestor;
+- *right panel* (rule 3): the non-tree edge ``{v, w}`` itself is attached
+  to the component of ``w``'s parent edge (``l(v) < l(w)``).
+"""
+
+import networkx as nx
+import numpy as np
+
+from _common import run_once, seeded
+from repro.core.child_sibling import RootedTree
+from repro.core.euler import preorder_and_sizes
+from repro.experiments.harness import Table
+from repro.graphs.analysis import adjacency_sets
+from repro.hybrid.biconnectivity import (
+    biconnected_components_hybrid,
+    tarjan_vishkin_rules,
+)
+
+
+def _rules_for(graph: nx.Graph, parent: list[int], root: int):
+    tree = RootedTree(root=root, parent=np.array(parent))
+    labels, nd, _ = preorder_and_sizes(tree)
+    adj = adjacency_sets(graph)
+    from repro.hybrid.biconnectivity import _subtree_aggregates
+
+    low, high = _subtree_aggregates(tree, labels, nd, adj)
+    pairs = tarjan_vishkin_rules(tree, labels, nd, low, high, adj)
+    return {tuple(sorted(p)) for p in pairs}, labels
+
+
+def bench_e14_rules(benchmark):
+    def experiment():
+        table = Table(
+            "E14: Figure 1 rule gadgets",
+            ["panel", "expected_join", "produced", "match"],
+        )
+        results = []
+
+        # Left panel (rule 1): root 0, children 1 (u) and 2 (x);
+        # v = 3 under u, w = 4 under x; non-tree edge {3, 4}.
+        g1 = nx.Graph([(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)])
+        pairs1, _ = _rules_for(g1, parent=[0, 0, 0, 1, 2], root=0)
+        match1 = (3, 4) in pairs1
+        table.add("rule1", "(v,w)=(3,4)", sorted(pairs1), match1)
+        results.append(match1)
+
+        # Centre panel (rule 2): chain 0 (u) - 1 (v) - 2 (w) - 3 with a
+        # non-tree edge {3, 0}: w's subtree escapes v's subtree, so the
+        # parent edges of v and w join.
+        g2 = nx.Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        pairs2, _ = _rules_for(g2, parent=[0, 0, 1, 2], root=0)
+        match2 = (1, 2) in pairs2 and (2, 3) in pairs2
+        table.add("rule2", "(v,w)=(1,2)+(2,3)", sorted(pairs2), match2)
+        results.append(match2)
+
+        # Right panel (rule 3): triangle 0-1-2 plus tail; the non-tree
+        # edge {0, 2} must land in the component of 2's parent edge.
+        g3 = nx.Graph([(0, 1), (1, 2), (0, 2)])
+        res = biconnected_components_hybrid(g3, rng=seeded(0), tree_source="bfs")
+        comp_of_nontree = res.edge_component[(0, 2)]
+        comp_of_parent_edge = res.edge_component[(1, 2)]
+        match3 = comp_of_nontree == comp_of_parent_edge
+        table.add("rule3", "component({0,2}) == component({1,2})", comp_of_nontree, match3)
+        results.append(match3)
+
+        table.show()
+        return results
+
+    results = run_once(benchmark, experiment)
+    assert all(results), "a Figure 1 rule gadget did not reproduce"
+
+
+def bench_e14_cycle_is_one_component(benchmark):
+    def experiment():
+        from repro.graphs.generators import cycle_graph
+
+        res = biconnected_components_hybrid(
+            cycle_graph(9), rng=seeded(1), tree_source="bfs"
+        )
+        return len(res.components), res.is_biconnected
+
+    ncomp, bicon = run_once(benchmark, experiment)
+    assert ncomp == 1 and bicon

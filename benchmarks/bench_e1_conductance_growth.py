@@ -1,0 +1,78 @@
+"""E1 — Lemma 3.1(2): conductance grows per evolution until constant.
+
+Paper claim: ``Φ(G_{i+1}) ≥ (√ℓ/640)·Φ(G_i)`` until a universal constant
+is reached; consequently the spectral gap of the evolution graphs rises
+monotonically (up to noise) from the input's ``Θ(1/n²)``-scale value to a
+constant plateau independent of ``n``.
+
+Measured here: the spectral-gap trajectory of ``CreateExpander`` on the
+adversarial workloads (line / cycle / grid / tree), and the plateau's
+independence of ``n``.
+"""
+
+import numpy as np
+
+from _common import run_once, seeded
+from repro.core.benign import make_benign
+from repro.core.expander import ExpanderBuilder
+from repro.core.params import ExpanderParams
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+from repro.graphs.spectral import spectral_gap
+
+
+WORKLOADS = ["line", "cycle", "grid", "binary_tree"]
+
+
+def _trajectory(name: str, n: int, seed: int) -> list[float]:
+    graph = G.make_workload(name, n, seeded(seed))
+    params = ExpanderParams.recommended(graph.number_of_nodes())
+    base, _ = make_benign(graph, params)
+    builder = ExpanderBuilder(base, params, seeded(seed))
+    gaps = [spectral_gap(base)]
+    for _ in range(params.num_evolutions):
+        builder.step()
+        gaps.append(spectral_gap(builder.current))
+    return gaps
+
+
+def bench_e1_gap_trajectories(benchmark):
+    def experiment():
+        table = Table(
+            "E1: spectral gap per evolution (Lemma 3.1)",
+            ["workload", "n", "gap_0", "gap_mid", "gap_final", "monotone_rises"],
+        )
+        results = {}
+        for name in WORKLOADS:
+            gaps = _trajectory(name, 128, seed=1)
+            mid = gaps[len(gaps) // 2]
+            rises = gaps[-1] > 10 * gaps[0] + 1e-12
+            table.add(name, 128, gaps[0], mid, gaps[-1], rises)
+            results[name] = gaps
+        table.show()
+        return results
+
+    results = run_once(benchmark, experiment)
+    for name, gaps in results.items():
+        assert gaps[-1] > 0.05, f"{name}: no constant-conductance plateau"
+        assert gaps[-1] > 10 * gaps[0], f"{name}: gap did not grow"
+
+
+def bench_e1_plateau_independent_of_n(benchmark):
+    def experiment():
+        table = Table(
+            "E1b: plateau gap vs n (line input)",
+            ["n", "final_gap", "evolutions"],
+        )
+        finals = []
+        for n in (64, 128, 256):
+            gaps = _trajectory("line", n, seed=2)
+            finals.append(gaps[-1])
+            table.add(n, gaps[-1], len(gaps) - 1)
+        table.show()
+        return finals
+
+    finals = run_once(benchmark, experiment)
+    # Constant conductance: final gaps within a 3x band across sizes.
+    assert max(finals) <= 3 * min(finals)
+    assert min(finals) > 0.05

@@ -1,0 +1,58 @@
+"""E3 — Theorem 1.1: O(log n) rounds, O(log n) final diameter.
+
+Paper claim: from any weakly connected constant-degree graph, a
+well-formed tree is built in ``O(log n)`` rounds w.h.p., and the final
+expander graph ``G_L`` has diameter ``O(log n)``.
+
+Measured here: total pipeline rounds and final-overlay diameter on the
+worst-case line input across an ``n`` sweep, with the ``y ≈ a + b·log₂ n``
+fit.  The reproduction claim holds when the fit is tight (R² high) and
+the per-``log n`` ratio stays bounded.
+"""
+
+import math
+
+from _common import run_once, seeded
+from repro.core.pipeline import build_well_formed_tree
+from repro.experiments.harness import Table, fit_vs_logn
+from repro.graphs import generators as G
+from repro.graphs.analysis import diameter
+
+
+def bench_e3_rounds_and_diameter(benchmark):
+    def experiment():
+        table = Table(
+            "E3: rounds and diameter vs n (Theorem 1.1, line input)",
+            ["n", "rounds", "rounds/log2n", "overlay_diam", "wft_depth", "wft_degree"],
+        )
+        ns, rounds, diams = [], [], []
+        for n in (64, 128, 256, 512, 1024):
+            result = build_well_formed_tree(G.line_graph(n), rng=seeded(n))
+            adj = result.final_graph().neighbor_sets()
+            diam = diameter(adj, exact_threshold=300)
+            log_n = math.log2(n)
+            table.add(
+                n,
+                result.total_rounds,
+                result.total_rounds / log_n,
+                diam,
+                result.well_formed.depth(),
+                result.well_formed.max_degree(),
+            )
+            ns.append(n)
+            rounds.append(result.total_rounds)
+            diams.append(diam)
+        a, b, r2 = fit_vs_logn(ns, rounds)
+        print(f"rounds fit: {a:.1f} + {b:.1f} * log2(n), R^2 = {r2:.4f}")
+        table.show()
+        return ns, rounds, diams, r2
+
+    ns, rounds, diams, r2 = run_once(benchmark, experiment)
+    # O(log n) rounds: excellent linear fit in log n.
+    assert r2 > 0.98
+    # Bounded rounds-per-log ratio (within 2x across the sweep).
+    ratios = [r / math.log2(n) for n, r in zip(ns, rounds)]
+    assert max(ratios) <= 2 * min(ratios)
+    # O(log n) diameter with small constant.
+    for n, d in zip(ns, diams):
+        assert d <= 2 * math.log2(n)

@@ -1,0 +1,52 @@
+"""E5 — Lemma 3.2: token congestion stays below 3Δ/8, w.h.p.
+
+Paper claim: during the random-walk rounds, the number of tokens resident
+at any node exceeds ``3Δ/8`` with probability at most ``e^{-Δ}`` — this
+is what keeps every message within the NCC0 budget and lets every walk
+create its edge.
+
+Measured here: the maximum per-round token load across many seeds and a
+large vectorised instance (n = 4096), reported against the ``3Δ/8`` cap.
+"""
+
+from _common import run_once, seeded
+from repro.core.benign import make_benign
+from repro.core.params import ExpanderParams
+from repro.core.walks import run_token_walks
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+
+
+def bench_e5_congestion(benchmark):
+    def experiment():
+        table = Table(
+            "E5: max token load vs the 3Δ/8 cap (Lemma 3.2)",
+            ["n", "delta", "cap", "max_load", "seeds", "violations"],
+        )
+        rows = []
+        for n in (256, 1024, 4096):
+            params = ExpanderParams.recommended(n)
+            base, _ = make_benign(G.line_graph(n), params)
+            worst = 0
+            violations = 0
+            seeds = 8 if n <= 1024 else 3
+            for seed in range(seeds):
+                walk = run_token_walks(
+                    base,
+                    tokens_per_node=params.tokens_per_node,
+                    length=params.ell,
+                    rng=seeded(seed),
+                )
+                peak = int(walk.max_load_per_round.max())
+                worst = max(worst, peak)
+                if peak > params.accept_cap:
+                    violations += 1
+            table.add(n, params.delta, params.accept_cap, worst, seeds, violations)
+            rows.append((n, params.accept_cap, worst, violations))
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    for n, cap, worst, violations in rows:
+        assert violations == 0, f"n={n}: congestion exceeded 3Δ/8"
+        assert worst <= cap

@@ -1,0 +1,53 @@
+"""E6 — §1.2/§2.1: the output is a well-formed tree.
+
+Paper claim: the final structure is a rooted tree containing all nodes,
+with constant degree (≤ 3 after the child–sibling + Euler rebalancing)
+and depth ``O(log n)``.
+
+Measured here: degree and depth of the output tree across every workload
+in the registry, against the ``⌈log₂ n⌉ + 1`` depth bound the binary-heap
+rebalancing guarantees.
+"""
+
+import math
+
+from _common import run_once, seeded
+from repro.core.pipeline import build_well_formed_tree
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+
+
+def bench_e6_tree_quality(benchmark):
+    def experiment():
+        table = Table(
+            "E6: well-formed tree quality across workloads",
+            ["workload", "n", "degree", "depth", "depth_bound", "rounds"],
+        )
+        rows = []
+        for name in sorted(G.WORKLOADS):
+            graph = G.make_workload(name, 96, seeded(3))
+            n = graph.number_of_nodes()
+            dmax = max(d for _, d in graph.degree)
+            if dmax * 4 > 200:  # high-degree workloads go through Section 4
+                continue
+            result = build_well_formed_tree(graph, rng=seeded(7))
+            depth_bound = math.ceil(math.log2(n)) + 1
+            table.add(
+                name,
+                n,
+                result.well_formed.max_degree(),
+                result.well_formed.depth(),
+                depth_bound,
+                result.total_rounds,
+            )
+            rows.append(
+                (name, result.well_formed.max_degree(), result.well_formed.depth(), depth_bound)
+            )
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    assert len(rows) >= 8
+    for name, degree, depth, bound in rows:
+        assert degree <= 3, f"{name}: degree {degree} > 3"
+        assert depth <= bound, f"{name}: depth {depth} > {bound}"

@@ -1,0 +1,91 @@
+"""E9 — Theorem 1.3 + Lemma 4.11: spanning trees by walk unwinding.
+
+Paper claims: (a) a spanning tree of ``G`` is recovered from the walk
+provenance in ``O(log n)`` rounds; (b) Lemma 4.11: the fully expanded
+path ``P_0`` contains each node ``O(log⁴ n)`` times.
+
+Measured here: (a) tree validity and the covering-stream cost across an
+``n`` sweep; (b) the *full* per-level expansion sizes on a small
+instance.  Finding (documented in EXPERIMENTS.md): the full ``|P_i|``
+grows **multiplicatively** per level — each level multiplies path length
+by the non-lazy trace length, which Lemma 4.11's additive accounting
+understates.  The lazy covering stream (what the implementation uses)
+stays near-linear, so the *algorithm* is fine; the lemma's bound is the
+part that does not reproduce.
+"""
+
+import math
+
+import networkx as nx
+
+from _common import run_once, seeded
+from repro.experiments.harness import Table
+from repro.graphs import generators as G
+from repro.graphs.portgraph import SELF_LOOP
+from repro.hybrid.overlay import build_hybrid_overlay
+from repro.hybrid.spanning_tree import spanning_tree_hybrid
+
+
+def bench_e9_tree_validity_and_stream(benchmark):
+    def experiment():
+        table = Table(
+            "E9: spanning tree via unwinding (Theorem 1.3)",
+            ["n", "valid", "stream_steps", "steps/n", "max_node_occurrences", "log4_n"],
+        )
+        rows = []
+        for n in (64, 128, 256):
+            g = G.grid_2d(int(math.isqrt(n)), int(math.isqrt(n)))
+            n_actual = g.number_of_nodes()
+            res = spanning_tree_hybrid(g, rng=seeded(n))
+            t = nx.Graph()
+            t.add_nodes_from(range(n_actual))
+            t.add_edges_from(res.tree_edges)
+            valid = nx.is_tree(t)
+            table.add(
+                n_actual,
+                valid,
+                res.stream_steps,
+                res.stream_steps / n_actual,
+                int(res.occurrences.max()),
+                round(math.log2(n_actual) ** 4),
+            )
+            rows.append((n_actual, valid, res.stream_steps))
+        table.show()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    for n, valid, steps in rows:
+        assert valid, f"n={n}: not a spanning tree"
+        # Covering stream stays polynomial-free: at most ~n polylog.
+        assert steps <= 512 * n * math.log2(n) ** 2
+
+
+def bench_e9_full_expansion_growth(benchmark):
+    """Lemma 4.11 finding: full |P_i| growth is multiplicative per level."""
+
+    def experiment():
+        overlay = build_hybrid_overlay(
+            G.line_graph(64), rng=seeded(5), record_traces=True, gap_threshold=0.1
+        )
+        # Count non-lazy steps per level: expanding one level-i edge costs
+        # its trace's real steps, so level sizes multiply by the mean.
+        table = Table(
+            "E9b: per-level trace sizes (Lemma 4.11 accounting)",
+            ["level", "edges", "mean_real_steps_per_trace"],
+        )
+        factors = []
+        for level, registry in enumerate(overlay.level_registries, start=1):
+            real = [
+                int((edge.edge_trace != SELF_LOOP).sum()) for edge in registry
+            ]
+            mean = sum(real) / max(1, len(real))
+            factors.append(mean)
+            table.add(level, len(registry), mean)
+        table.show()
+        return factors
+
+    factors = run_once(benchmark, experiment)
+    # The multiplicative expansion factor per level is >> 1: the full
+    # P_0 is exponential in the level count, contradicting an additive
+    # O(log^4 n) bound at these parameters.
+    assert all(f > 2 for f in factors)

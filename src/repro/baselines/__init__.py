@@ -1,0 +1,22 @@
+"""Baseline algorithms the paper's construction is compared against.
+
+- :mod:`repro.baselines.supernode_merge` — the Angluin-style grouping/
+  merging approach used by all prior work (``O(log² n)`` rounds);
+- :mod:`repro.baselines.pointer_jumping` — unbounded-communication
+  pointer jumping (``O(log n)`` rounds but ``Θ(n)`` messages per node);
+- :mod:`repro.baselines.flooding` — naive full-knowledge flooding.
+"""
+
+from repro.baselines.supernode_merge import MergePhase, SupernodeMergeResult, supernode_merge
+from repro.baselines.pointer_jumping import PointerJumpingResult, pointer_jumping
+from repro.baselines.flooding import FloodingResult, flooding
+
+__all__ = [
+    "MergePhase",
+    "SupernodeMergeResult",
+    "supernode_merge",
+    "PointerJumpingResult",
+    "pointer_jumping",
+    "FloodingResult",
+    "flooding",
+]

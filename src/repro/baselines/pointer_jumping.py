@@ -1,0 +1,89 @@
+"""Pointer jumping — the unbounded-communication strawman.
+
+§1.3 of the paper: *"if there was no bound on the communication a node can
+carry out in each round, the diameter of the network can easily be reduced
+to 1 by performing pointer jumping for O(log n) rounds.  However, this
+would require each node to communicate Θ(n) messages in the worst case."*
+
+This baseline quantifies exactly that trade-off for experiment E7: in
+each round every node introduces all of its neighbours to one another
+(the knowledge graph is squared), which halves the diameter but squares
+the degrees.  We measure rounds to diameter 1 and the per-round message
+load — the number of identifiers a node must send, which explodes to
+``Θ(n)`` while the paper's algorithm stays at ``O(log n)``.
+
+Adjacency is represented as Python-int bitsets so the quadratic knowledge
+growth stays cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.analysis import adjacency_sets, is_connected
+
+__all__ = ["PointerJumpingResult", "pointer_jumping"]
+
+
+@dataclass
+class PointerJumpingResult:
+    """Round-by-round measurements of the knowledge-squaring process."""
+
+    rounds: int
+    max_messages_per_round: list[int]
+    total_messages: int
+
+    @property
+    def peak_messages(self) -> int:
+        """Largest per-node per-round message count (Θ(n) on a line)."""
+        return max(self.max_messages_per_round, default=0)
+
+
+def pointer_jumping(graph, max_rounds: int = 64) -> PointerJumpingResult:
+    """Square the knowledge graph until it is a clique.
+
+    A node with neighbour set ``N(v)`` sends, in one round, the identifier
+    of every neighbour to every neighbour — ``|N(v)|²`` identifier
+    messages — after which ``N(v)`` becomes ``N(N(v))``.  Rounds until the
+    clique is ``⌈log₂ diam⌉``.
+    """
+    adj = adjacency_sets(graph)
+    n = len(adj)
+    if n == 0:
+        return PointerJumpingResult(0, [], 0)
+    if not is_connected(adj):
+        raise ValueError("pointer jumping requires a connected graph")
+
+    masks = [0] * n
+    for v, neigh in enumerate(adj):
+        for u in neigh:
+            masks[v] |= 1 << u
+
+    full = [(1 << n) - 1 & ~(1 << v) for v in range(n)]
+    max_messages: list[int] = []
+    total = 0
+    rounds = 0
+    while any(masks[v] != full[v] for v in range(n)) and rounds < max_rounds:
+        rounds += 1
+        peak = 0
+        new_masks = list(masks)
+        for v in range(n):
+            deg = masks[v].bit_count()
+            sent = deg * deg  # every neighbour introduced to every other
+            peak = max(peak, sent)
+            total += sent
+            merged = masks[v]
+            rest = masks[v]
+            while rest:
+                low = rest & -rest
+                u = low.bit_length() - 1
+                merged |= masks[u]
+                rest ^= low
+            new_masks[v] = merged & ~(1 << v)
+        masks = new_masks
+        max_messages.append(peak)
+    return PointerJumpingResult(
+        rounds=rounds,
+        max_messages_per_round=max_messages,
+        total_messages=total,
+    )

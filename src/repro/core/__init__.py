@@ -1,0 +1,82 @@
+"""Core contribution of the paper (Sections 2–3).
+
+The public surface:
+
+- :class:`repro.core.params.ExpanderParams` — the ``(ℓ, Δ, Λ, L)`` bundle;
+- :func:`repro.core.benign.make_benign` / :func:`check_benign` —
+  Definition 2.1 preparation and invariant oracle;
+- :class:`repro.core.expander.ExpanderBuilder` /
+  :func:`create_expander` — the evolutions themselves (fast engine);
+- :func:`repro.core.pipeline.build_well_formed_tree` — the full
+  Theorem 1.1 pipeline (prepare → evolve → BFS → well-form);
+- :mod:`repro.core.protocol` — the message-level NCC0 engine used to
+  validate communication bounds.
+"""
+
+from repro.core.params import ExpanderParams
+from repro.core.benign import BenignReport, check_benign, make_benign
+from repro.core.walks import WalkResult, run_token_walks
+from repro.core.expander import (
+    EvolutionStats,
+    ExpanderBuilder,
+    ExpanderResult,
+    OverlayEdge,
+    create_expander,
+)
+from repro.core.bfs import BFSForest, build_bfs_forest, distributed_bfs, flood_min_ids
+from repro.core.child_sibling import RootedTree, to_child_sibling
+from repro.core.euler import (
+    EulerTour,
+    WellFormedTree,
+    build_well_formed_from_tree,
+    euler_tour,
+    heap_tree,
+    list_rank,
+    preorder_and_sizes,
+)
+from repro.core.pipeline import OverlayBuildResult, build_well_formed_tree
+from repro.core.primitives import TreePrimitives
+from repro.core.topologies import (
+    OverlayTopology,
+    build_butterfly,
+    build_debruijn,
+    build_hypercube,
+    build_sorted_path,
+    build_sorted_ring,
+)
+
+__all__ = [
+    "ExpanderParams",
+    "BenignReport",
+    "check_benign",
+    "make_benign",
+    "WalkResult",
+    "run_token_walks",
+    "EvolutionStats",
+    "ExpanderBuilder",
+    "ExpanderResult",
+    "OverlayEdge",
+    "create_expander",
+    "BFSForest",
+    "build_bfs_forest",
+    "distributed_bfs",
+    "flood_min_ids",
+    "RootedTree",
+    "to_child_sibling",
+    "EulerTour",
+    "WellFormedTree",
+    "build_well_formed_from_tree",
+    "euler_tour",
+    "heap_tree",
+    "list_rank",
+    "preorder_and_sizes",
+    "OverlayBuildResult",
+    "build_well_formed_tree",
+    "TreePrimitives",
+    "OverlayTopology",
+    "build_butterfly",
+    "build_debruijn",
+    "build_hypercube",
+    "build_sorted_path",
+    "build_sorted_ring",
+]

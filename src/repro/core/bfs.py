@@ -1,0 +1,149 @@
+"""Distributed-style minimum-id flooding and BFS (§2.1, footnote 8).
+
+Once ``CreateExpander`` has produced a constant-conductance graph ``G_L``,
+the paper roots a BFS tree at the node with the lowest identifier:
+
+    "Every node simultaneously floods the graph with a token message that
+    contains its identifier.  Every node that receives one or more tokens
+    only forwards the token with lowest identifier."
+
+Both phases are simulated here round-by-round on adjacency sets so the
+round counts reported to the experiments are the *actual* synchronous
+rounds the protocol would take (flooding stabilises after ``ecc(root)``
+rounds; the BFS completes after ``depth`` rounds).  Parent ties are broken
+towards the smallest id, which keeps the construction deterministic given
+the graph.
+
+These routines operate per connected component, which is what the
+connected-components application (Theorem 1.2) needs: on a disconnected
+graph each component independently elects its minimum id and builds its
+own tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.analysis import adjacency_sets
+
+__all__ = ["BFSForest", "flood_min_ids", "distributed_bfs", "build_bfs_forest"]
+
+
+@dataclass
+class BFSForest:
+    """A BFS forest with per-node metadata.
+
+    Attributes
+    ----------
+    parent:
+        ``(n,)`` array; ``parent[v]`` is ``v``'s BFS parent (roots point to
+        themselves).
+    depth:
+        ``(n,)`` array of hop distances to the component root.
+    root_of:
+        ``(n,)`` array; the root (minimum id) of each node's component.
+    roots:
+        Sorted list of component roots.
+    rounds:
+        Synchronous rounds consumed (flooding + level-synchronous BFS).
+    """
+
+    parent: np.ndarray
+    depth: np.ndarray
+    root_of: np.ndarray
+    roots: list[int]
+    rounds: int
+
+    def children_lists(self) -> list[list[int]]:
+        """Children of every node, sorted ascending (deterministic)."""
+        children: list[list[int]] = [[] for _ in range(self.parent.shape[0])]
+        for v, p in enumerate(self.parent.tolist()):
+            if p != v:
+                children[p].append(v)
+        return children
+
+    def tree_depth(self) -> int:
+        """Maximum node depth across the forest."""
+        return int(self.depth.max(initial=0))
+
+
+def flood_min_ids(adj) -> tuple[np.ndarray, int]:
+    """Flood minimum identifiers until stable.
+
+    Every node repeatedly adopts the minimum of its own value and its
+    neighbours' values.  Returns ``(root_of, rounds)`` where ``root_of[v]``
+    is the minimum id in ``v``'s component and ``rounds`` is the number of
+    rounds until no value changed (what a synchronous network would need,
+    plus the final quiescence-detection round).
+    """
+    adj = adjacency_sets(adj)
+    n = len(adj)
+    best = np.arange(n, dtype=np.int64)
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        nxt = best.copy()
+        for v in range(n):
+            for u in adj[v]:
+                if best[u] < nxt[v]:
+                    nxt[v] = best[u]
+                    changed = True
+        best = nxt
+        rounds += 1
+    return best, rounds
+
+
+def distributed_bfs(adj, roots: list[int]) -> tuple[np.ndarray, np.ndarray, int]:
+    """Level-synchronous BFS from the given roots.
+
+    Returns ``(parent, depth, rounds)``.  In each round the current
+    frontier's nodes offer themselves as parents to undiscovered
+    neighbours; a node discovered by several neighbours in the same round
+    picks the smallest id (deterministic tie-break, mirroring
+    :func:`repro.graphs.analysis.bfs_tree`).
+    """
+    adj = adjacency_sets(adj)
+    n = len(adj)
+    parent = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=np.int64)
+    frontier: list[int] = []
+    for r in roots:
+        parent[r] = r
+        depth[r] = 0
+        frontier.append(r)
+    rounds = 0
+    while frontier:
+        rounds += 1
+        offers: dict[int, int] = {}
+        for v in frontier:
+            for u in adj[v]:
+                if parent[u] < 0:
+                    prev = offers.get(u)
+                    if prev is None or v < prev:
+                        offers[u] = v
+        nxt: list[int] = []
+        for u, p in offers.items():
+            parent[u] = p
+            depth[u] = depth[p] + 1
+            nxt.append(u)
+        frontier = nxt
+    return parent, depth, rounds
+
+
+def build_bfs_forest(graph) -> BFSForest:
+    """Full §2.1 procedure: flood minimum ids, then BFS from each
+    component's minimum-id node."""
+    adj = adjacency_sets(graph)
+    root_of, flood_rounds = flood_min_ids(adj)
+    roots = sorted(set(root_of.tolist()))
+    parent, depth, bfs_rounds = distributed_bfs(adj, roots)
+    return BFSForest(
+        parent=parent,
+        depth=depth,
+        root_of=root_of,
+        roots=roots,
+        rounds=flood_rounds + bfs_rounds,
+    )

@@ -1,0 +1,218 @@
+"""Euler tour technique: list ranking, preorder labels, and rebalancing.
+
+The final step of the paper's pipeline (§2.1, following [53] and [27])
+turns the constant-degree child–sibling tree into a **well-formed tree** —
+rooted, constant degree, depth ``O(log n)``:
+
+1. construct the Euler tour of the tree (every edge traversed once in each
+   direction) via the purely local successor rule;
+2. compute every tour element's *position* with pointer jumping
+   (``O(log n)`` doubling rounds — implemented here as actual doubling on
+   arrays, not a closed-form shortcut, so the round count is real);
+3. label nodes by first visit (preorder) and rebuild the tree as a
+   binary heap over that order: the node of rank ``r`` attaches to the node
+   of rank ``⌊(r−1)/2⌋``.  Depth becomes ``⌊log₂ n⌋`` and degree ≤ 3.
+
+The same tour machinery provides preorder labels ``l(v)`` and subtree
+sizes ``nd(v)`` for the Tarjan–Vishkin biconnectivity algorithm
+(Theorem 1.4), which consumes them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.child_sibling import RootedTree, to_child_sibling
+
+__all__ = [
+    "EulerTour",
+    "euler_tour",
+    "list_rank",
+    "preorder_and_sizes",
+    "heap_tree",
+    "WellFormedTree",
+    "build_well_formed_from_tree",
+]
+
+
+@dataclass
+class EulerTour:
+    """An Euler tour of a rooted tree.
+
+    ``edges[k] = (u, v)`` is the ``k``-th directed traversal; the tour
+    starts at the root and has exactly ``2(n-1)`` entries.  ``first_entry``
+    and ``exit_entry`` give, for every non-root node, the indices of its
+    ``(parent, v)`` and ``(v, parent)`` traversals.
+    """
+
+    root: int
+    edges: list[tuple[int, int]]
+    first_entry: np.ndarray
+    exit_entry: np.ndarray
+
+    @property
+    def length(self) -> int:
+        return len(self.edges)
+
+
+def euler_tour(tree: RootedTree) -> EulerTour:
+    """Construct the Euler tour using the local successor rule.
+
+    Each node orders its tree neighbours (parent last, children ascending);
+    the successor of the traversal ``(u, v)`` is ``(v, w)`` where ``w`` is
+    the neighbour of ``v`` that follows ``u`` cyclically in ``v``'s order.
+    Every node can compute its successors locally, which is why this costs
+    ``O(1)`` rounds in the overlay; here we build the successor map and
+    walk it.
+    """
+    n = tree.n
+    children = tree.children_lists()
+    if n == 1:
+        return EulerTour(
+            root=tree.root,
+            edges=[],
+            first_entry=np.full(1, -1, dtype=np.int64),
+            exit_entry=np.full(1, -1, dtype=np.int64),
+        )
+
+    # Neighbour ordering per node: children ascending, then parent.
+    order: list[list[int]] = []
+    for v in range(n):
+        neigh = list(children[v])
+        if v != tree.root:
+            neigh.append(int(tree.parent[v]))
+        order.append(neigh)
+
+    index_of: list[dict[int, int]] = [
+        {u: i for i, u in enumerate(neigh)} for neigh in order
+    ]
+
+    def successor(u: int, v: int) -> tuple[int, int]:
+        neigh = order[v]
+        k = index_of[v][u]
+        w = neigh[(k + 1) % len(neigh)]
+        return (v, w)
+
+    start = (tree.root, order[tree.root][0])
+    edges = [start]
+    cur = start
+    for _ in range(2 * (n - 1) - 1):
+        cur = successor(*cur)
+        edges.append(cur)
+
+    first_entry = np.full(n, -1, dtype=np.int64)
+    exit_entry = np.full(n, -1, dtype=np.int64)
+    parent = tree.parent
+    for k, (u, v) in enumerate(edges):
+        if parent[v] == u and first_entry[v] < 0:
+            first_entry[v] = k
+        if parent[u] == v:
+            exit_entry[u] = k
+    return EulerTour(root=tree.root, edges=edges, first_entry=first_entry, exit_entry=exit_entry)
+
+
+def list_rank(successor: np.ndarray) -> tuple[np.ndarray, int]:
+    """List ranking by pointer jumping (Wyllie's algorithm).
+
+    ``successor[k]`` is the next element of a linked list (``-1`` at the
+    tail).  Returns ``(distance_to_tail, rounds)`` where ``rounds`` is the
+    number of doubling rounds performed — the synchronous rounds a
+    distributed implementation needs (``⌈log₂ m⌉``).
+    """
+    m = successor.shape[0]
+    nxt = successor.copy()
+    dist = (nxt >= 0).astype(np.int64)
+    rounds = 0
+    while (nxt >= 0).any():
+        has_next = nxt >= 0
+        targets = nxt[has_next]
+        dist[has_next] += dist[targets]
+        new_nxt = nxt.copy()
+        new_nxt[has_next] = nxt[targets]
+        nxt = new_nxt
+        rounds += 1
+    return dist, rounds
+
+
+def preorder_and_sizes(tree: RootedTree) -> tuple[np.ndarray, np.ndarray, int]:
+    """Preorder labels ``l(v) ∈ {1..n}`` and subtree sizes ``nd(v)``.
+
+    Computed from the Euler tour: ``l`` orders nodes by first visit and
+    ``nd(v) = (exit(v) − enter(v) + 1) / 2`` counts tour edges inside the
+    subtree (Tarjan–Vishkin Step 1/2).  Returns ``(labels, sizes, rounds)``
+    with the list-ranking round count.
+    """
+    n = tree.n
+    if n == 1:
+        return np.array([1], dtype=np.int64), np.array([1], dtype=np.int64), 0
+    tour = euler_tour(tree)
+    m = tour.length
+    succ = np.arange(1, m + 1, dtype=np.int64)
+    succ[-1] = -1
+    _dist, rounds = list_rank(succ)
+
+    labels = np.zeros(n, dtype=np.int64)
+    sizes = np.zeros(n, dtype=np.int64)
+    labels[tree.root] = 1
+    sizes[tree.root] = n
+    # Nodes sorted by first entry give preorder positions 2..n.
+    others = [v for v in range(n) if v != tree.root]
+    others.sort(key=lambda v: int(tour.first_entry[v]))
+    for i, v in enumerate(others):
+        labels[v] = i + 2
+        sizes[v] = (int(tour.exit_entry[v]) - int(tour.first_entry[v]) + 1) // 2
+    return labels, sizes, rounds
+
+
+def heap_tree(order: list[int]) -> RootedTree:
+    """Binary-heap-shaped tree over ``order``: the node of rank ``r``
+    attaches to the node of rank ``⌊(r−1)/2⌋``.  Depth ``⌊log₂ n⌋``,
+    degree ≤ 3."""
+    n = len(order)
+    parent = np.arange(n, dtype=np.int64)
+    for r in range(1, n):
+        parent[order[r]] = order[(r - 1) // 2]
+    return RootedTree(root=order[0], parent=parent)
+
+
+@dataclass
+class WellFormedTree:
+    """A well-formed tree (§1.2): rooted, degree ≤ 3, depth ``O(log n)``.
+
+    ``rounds`` charges the overlay rounds of the transformation: one round
+    for the child–sibling rewiring, the pointer-jumping rounds of list
+    ranking, and ``⌈log₂ n⌉`` rounds for routing the rank-to-parent
+    introductions along the doubling shortcuts.
+    """
+
+    tree: RootedTree
+    rounds: int
+
+    @property
+    def root(self) -> int:
+        return self.tree.root
+
+    def depth(self) -> int:
+        return int(self.tree.depth_array().max(initial=0))
+
+    def max_degree(self) -> int:
+        return self.tree.max_degree()
+
+
+def build_well_formed_from_tree(tree: RootedTree) -> WellFormedTree:
+    """§2.1 final stage: BFS tree → child–sibling tree → Euler tour →
+    preorder ranks → binary heap tree."""
+    n = tree.n
+    if n == 1:
+        return WellFormedTree(tree=tree, rounds=0)
+    cs_tree = to_child_sibling(tree)
+    labels, _sizes, rank_rounds = preorder_and_sizes(cs_tree)
+    order = [0] * n
+    for v in range(n):
+        order[labels[v] - 1] = v
+    wft = heap_tree(order)
+    wft.validate()
+    routing_rounds = int(np.ceil(np.log2(max(2, n))))
+    return WellFormedTree(tree=wft, rounds=1 + rank_rounds + routing_rounds)

@@ -1,0 +1,298 @@
+"""``CreateExpander`` — the paper's core algorithm (§2.1), vectorised.
+
+Each *evolution* turns the current benign graph ``G_i`` into ``G_{i+1}``:
+
+1. every node starts ``Δ/8`` tokens carrying its identifier;
+2. tokens are forwarded along uniformly random ports for ``ℓ`` rounds;
+3. every node answers up to ``3Δ/8`` of the tokens it holds (chosen
+   uniformly without replacement; the rest are dropped), creating a
+   bidirected edge ``{origin, endpoint}`` per answered token;
+4. every node pads itself back to degree ``Δ`` with self-loops.
+
+Token counts guarantee the new graph is again benign: a node's own tokens
+contribute at most ``Δ/8`` edges, accepted tokens at most ``3Δ/8``, so at
+least ``Δ/2`` ports remain self-loops (laziness), and Lemma 3.1 shows the
+``Λ``-cut survives w.h.p.  Section 3 proves the conductance grows by
+``Ω(√ℓ)`` per evolution until it is constant, at which point the diameter
+is ``O(log n)``.
+
+This module is the *fast engine*: it runs the identical random process on
+numpy arrays.  The message-level engine in :mod:`repro.core.protocol`
+executes the same protocol node-by-node under NCC0 capacity enforcement;
+tests cross-validate the two.
+
+When ``record_traces`` is enabled the builder retains, for every created
+edge, the full walk that produced it (edge ids in the previous evolution
+graph).  This is the provenance the spanning-tree algorithm of Theorem 1.3
+unwinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benign import BaseEdge, make_benign
+from repro.core.params import ExpanderParams
+from repro.core.walks import run_token_walks
+from repro.graphs.portgraph import PortGraph
+from repro.graphs.spectral import spectral_gap
+
+__all__ = [
+    "OverlayEdge",
+    "EvolutionStats",
+    "ExpanderBuilder",
+    "ExpanderResult",
+    "create_expander",
+]
+
+
+@dataclass
+class OverlayEdge:
+    """Provenance of one walk-created edge at evolution level ``≥ 1``.
+
+    ``origin`` started the token, ``endpoint`` accepted it; the edge is
+    undirected ``{origin, endpoint}``.  ``node_trace`` is the walk's node
+    sequence (origin first) and ``edge_trace`` the ids of the level-below
+    edges used per step (``-1`` for lazy self-loop steps).  Both are None
+    unless trace recording was on.
+    """
+
+    origin: int
+    endpoint: int
+    node_trace: np.ndarray | None = None
+    edge_trace: np.ndarray | None = None
+
+
+@dataclass
+class EvolutionStats:
+    """Per-evolution measurements reported by the builder."""
+
+    iteration: int
+    tokens_started: int
+    tokens_accepted: int
+    tokens_dropped: int
+    max_token_load: int
+    distinct_edges: int
+    spectral_gap: float | None = None
+
+
+@dataclass
+class ExpanderResult:
+    """Everything produced by a full ``CreateExpander`` run."""
+
+    final_graph: PortGraph
+    history: list[EvolutionStats]
+    levels: list[PortGraph]
+    base_registry: list[BaseEdge]
+    level_registries: list[list[OverlayEdge]]
+    params: ExpanderParams
+    rounds: int
+
+    @property
+    def num_evolutions(self) -> int:
+        return len(self.history)
+
+
+class ExpanderBuilder:
+    """Stateful driver running evolutions on a benign port graph.
+
+    Parameters
+    ----------
+    base_graph:
+        The benign level-0 graph (output of
+        :func:`repro.core.benign.make_benign` or any benign PortGraph).
+    params:
+        Algorithm parameters; ``params.delta`` must equal the graph degree.
+    rng:
+        Randomness source for all port choices and acceptance sampling.
+    record_traces:
+        Retain per-edge walk provenance (needed by Theorem 1.3).
+    """
+
+    def __init__(
+        self,
+        base_graph: PortGraph,
+        params: ExpanderParams,
+        rng: np.random.Generator,
+        record_traces: bool = False,
+    ) -> None:
+        if base_graph.delta != params.delta:
+            raise ValueError(
+                f"graph degree {base_graph.delta} != params.delta {params.delta}"
+            )
+        self.params = params
+        self.rng = rng
+        self.record_traces = record_traces
+        self.levels: list[PortGraph] = [base_graph]
+        self.level_registries: list[list[OverlayEdge]] = []
+        self.history: list[EvolutionStats] = []
+
+    @property
+    def current(self) -> PortGraph:
+        """The most recent evolution graph ``G_i``."""
+        return self.levels[-1]
+
+    # ------------------------------------------------------------------
+    def step(self) -> EvolutionStats:
+        """Run one evolution ``G_i → G_{i+1}`` (algorithm box lines a–e)."""
+        params = self.params
+        graph = self.current
+        n = graph.n
+
+        walk = run_token_walks(
+            graph,
+            tokens_per_node=params.tokens_per_node,
+            length=params.ell,
+            rng=self.rng,
+            record_traces=self.record_traces,
+        )
+        accepted = _accept_tokens(walk.endpoints, params.accept_cap, self.rng)
+
+        origins_acc = walk.origins[accepted]
+        endpoints_acc = walk.endpoints[accepted]
+
+        registry: list[OverlayEdge] = []
+        if self.record_traces:
+            for token_idx in accepted.tolist():
+                registry.append(
+                    OverlayEdge(
+                        origin=int(walk.origins[token_idx]),
+                        endpoint=int(walk.endpoints[token_idx]),
+                        node_trace=walk.node_traces[token_idx].copy(),
+                        edge_trace=walk.edge_traces[token_idx].copy(),
+                    )
+                )
+        else:
+            registry = [
+                OverlayEdge(origin=int(o), endpoint=int(e))
+                for o, e in zip(origins_acc.tolist(), endpoints_acc.tolist())
+            ]
+
+        new_graph = PortGraph.from_edge_multiset(
+            n=n,
+            delta=params.delta,
+            endpoints_a=origins_acc,
+            endpoints_b=endpoints_acc,
+            edge_ids=np.arange(len(registry), dtype=np.int64),
+        )
+
+        stats = EvolutionStats(
+            iteration=len(self.history) + 1,
+            tokens_started=walk.num_tokens,
+            tokens_accepted=int(accepted.shape[0]),
+            tokens_dropped=walk.num_tokens - int(accepted.shape[0]),
+            max_token_load=int(walk.max_load_per_round.max(initial=0)),
+            distinct_edges=len(new_graph.unique_edges()),
+        )
+        self.levels.append(new_graph)
+        self.level_registries.append(registry)
+        self.history.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_evolutions: int | None = None,
+        gap_threshold: float | None = None,
+        track_gap: bool = False,
+        max_evolutions: int | None = None,
+    ) -> PortGraph:
+        """Run evolutions until the configured count or an adaptive stop.
+
+        Parameters
+        ----------
+        num_evolutions:
+            Fixed evolution count; defaults to ``params.num_evolutions``.
+        gap_threshold:
+            If given, stop early once the spectral gap of the current
+            graph reaches the threshold (checked after each evolution;
+            implies gap tracking).  The paper stops after ``L`` evolutions;
+            the adaptive mode is how the experiments locate the *actual*
+            number of evolutions needed, which should scale as
+            ``O(log n / log ℓ)``.
+        track_gap:
+            Record the spectral gap in each :class:`EvolutionStats` (costs
+            an eigensolve per evolution).
+        max_evolutions:
+            Safety cap for the adaptive mode.
+        """
+        if num_evolutions is None:
+            num_evolutions = self.params.num_evolutions
+        limit = num_evolutions if gap_threshold is None else (max_evolutions or 4 * num_evolutions)
+        want_gap = track_gap or gap_threshold is not None
+        for _ in range(limit):
+            stats = self.step()
+            if want_gap:
+                stats.spectral_gap = spectral_gap(self.current)
+            if gap_threshold is not None and stats.spectral_gap >= gap_threshold:
+                break
+        return self.current
+
+    def rounds_used(self) -> int:
+        """Synchronous rounds consumed so far: each evolution costs ``ℓ``
+        forwarding rounds plus one answer round (§2.2 runtime argument)."""
+        return len(self.history) * (self.params.ell + 1)
+
+
+def _accept_tokens(
+    endpoints: np.ndarray, cap: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Indices of tokens accepted under the per-endpoint cap.
+
+    Every endpoint keeps at most ``cap`` tokens, chosen uniformly without
+    replacement among those it received — implemented by random-permuting
+    all tokens and keeping the first ``cap`` of each endpoint group.
+    """
+    m = endpoints.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    perm = rng.permutation(m)
+    shuffled = endpoints[perm]
+    order = np.argsort(shuffled, kind="stable")
+    sorted_ep = shuffled[order]
+    group_start = np.searchsorted(sorted_ep, sorted_ep, side="left")
+    rank_in_group = np.arange(m) - group_start
+    keep = rank_in_group < cap
+    return np.sort(perm[order[keep]])
+
+
+def create_expander(
+    graph,
+    params: ExpanderParams | None = None,
+    rng: np.random.Generator | None = None,
+    record_traces: bool = False,
+    gap_threshold: float | None = None,
+    track_gap: bool = False,
+) -> ExpanderResult:
+    """End-to-end ``CreateExpander``: prepare ``graph`` (MakeBenign) and run
+    the configured evolutions.
+
+    ``graph`` is a networkx (di)graph; parameters default to
+    :meth:`ExpanderParams.recommended` for its size and degree.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if params is None:
+        from repro.core.benign import undirected_edge_list
+
+        n, edges = undirected_edge_list(graph)
+        degree = np.zeros(n, dtype=np.int64)
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        params = ExpanderParams.recommended(n, max_degree=int(degree.max(initial=1)))
+
+    base, base_registry = make_benign(graph, params)
+    builder = ExpanderBuilder(base, params, rng, record_traces=record_traces)
+    builder.run(gap_threshold=gap_threshold, track_gap=track_gap)
+    return ExpanderResult(
+        final_graph=builder.current,
+        history=builder.history,
+        levels=builder.levels,
+        base_registry=base_registry,
+        level_registries=builder.level_registries,
+        params=params,
+        rounds=builder.rounds_used() + 2,  # +2: bidirect + copy preparation
+    )

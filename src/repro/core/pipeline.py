@@ -1,0 +1,162 @@
+"""End-to-end overlay construction pipeline (Theorem 1.1).
+
+``build_well_formed_tree`` composes the full NCC0 algorithm:
+
+1. **Preparation** (§2.1): bidirect the knowledge graph and make it benign
+   (``MakeBenign`` — edge copying + self-loop padding) — 2 rounds;
+2. **CreateExpander**: ``L`` evolutions of ``ℓ + 1`` rounds each, after
+   which ``G_L`` has constant conductance and diameter ``O(log n)``
+   w.h.p.;
+3. **Rooting** (footnote 8): flood minimum ids and build a BFS tree;
+4. **Well-forming**: child–sibling transformation + Euler-tour
+   rebalancing into a degree-≤3, depth-``O(log n)`` tree.
+
+The returned :class:`OverlayBuildResult` carries a per-phase round ledger —
+the quantity Theorem 1.1 bounds by ``O(log n)`` — plus the evolution
+history used by the conductance-growth experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.benign import check_benign
+from repro.core.bfs import BFSForest, build_bfs_forest
+from repro.core.child_sibling import RootedTree
+from repro.core.euler import WellFormedTree, build_well_formed_from_tree
+from repro.core.expander import EvolutionStats, ExpanderResult, create_expander
+from repro.core.params import ExpanderParams
+from repro.graphs.analysis import diameter
+from repro.graphs.portgraph import PortGraph
+
+__all__ = ["OverlayBuildResult", "build_well_formed_tree"]
+
+
+@dataclass
+class OverlayBuildResult:
+    """Everything produced by the Theorem 1.1 pipeline.
+
+    Attributes
+    ----------
+    expander:
+        The :class:`ExpanderResult` (final graph, evolution history,
+        provenance registries).
+    bfs:
+        The BFS forest on the final expander graph (a single tree when the
+        input was connected).
+    well_formed:
+        The final well-formed tree.
+    round_ledger:
+        Rounds consumed per phase (``prepare``, ``evolutions``, ``bfs``,
+        ``well_forming``).
+    """
+
+    expander: ExpanderResult
+    bfs: BFSForest
+    well_formed: WellFormedTree
+    round_ledger: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def tree(self) -> RootedTree:
+        return self.well_formed.tree
+
+    @property
+    def total_rounds(self) -> int:
+        """Total synchronous rounds across all phases."""
+        return sum(self.round_ledger.values())
+
+    @property
+    def history(self) -> list[EvolutionStats]:
+        return self.expander.history
+
+    def final_graph(self) -> PortGraph:
+        return self.expander.final_graph
+
+    def overlay_diameter(self) -> int:
+        """Diameter of the final expander graph ``G_L``."""
+        return diameter(self.expander.final_graph.neighbor_sets())
+
+
+def build_well_formed_tree(
+    graph,
+    params: ExpanderParams | None = None,
+    rng: np.random.Generator | None = None,
+    record_traces: bool = False,
+    gap_threshold: float | None = None,
+    track_gap: bool = False,
+    verify_benign: bool = False,
+) -> OverlayBuildResult:
+    """Run the complete Theorem 1.1 construction on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Weakly connected networkx (di)graph of bounded degree.
+    params, rng:
+        Algorithm parameters and randomness; both default sensibly
+        (:meth:`ExpanderParams.recommended`, seed 0).
+    record_traces:
+        Keep walk provenance on every overlay edge (Theorem 1.3 input).
+    gap_threshold:
+        Stop evolutions adaptively once the spectral gap reaches this
+        value instead of running the fixed ``L``.
+    track_gap:
+        Record the spectral gap after each evolution (costs eigensolves).
+    verify_benign:
+        Assert Definition 2.1 on every evolution graph (testing aid;
+        raises on violation).
+
+    Returns
+    -------
+    OverlayBuildResult
+        With a round ledger satisfying, w.h.p.,
+        ``total_rounds = O(log n)`` for constant-degree inputs.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    expander = create_expander(
+        graph,
+        params=params,
+        rng=rng,
+        record_traces=record_traces,
+        gap_threshold=gap_threshold,
+        track_gap=track_gap,
+    )
+
+    if verify_benign:
+        for level, port_graph in enumerate(expander.levels):
+            target = expander.params.lam if level == 0 else None
+            report = check_benign(
+                port_graph,
+                expander.params,
+                check_cut=port_graph.n <= 300,
+                cut_target=target,
+            )
+            if not report.all_ok():
+                raise AssertionError(
+                    f"evolution graph at level {level} violates Definition 2.1: {report}"
+                )
+
+    bfs = build_bfs_forest(expander.final_graph)
+    if len(bfs.roots) != 1:
+        raise ValueError(
+            "input graph is disconnected; use repro.hybrid.components for forests"
+        )
+    tree = RootedTree(root=bfs.roots[0], parent=bfs.parent.copy())
+    well_formed = build_well_formed_from_tree(tree)
+
+    ledger = {
+        "prepare": 2,
+        "evolutions": len(expander.history) * (expander.params.ell + 1),
+        "bfs": bfs.rounds,
+        "well_forming": well_formed.rounds,
+    }
+    return OverlayBuildResult(
+        expander=expander,
+        bfs=bfs,
+        well_formed=well_formed,
+        round_ledger=ledger,
+    )

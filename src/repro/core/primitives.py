@@ -1,0 +1,166 @@
+"""Distributed primitives on a well-formed tree.
+
+§1.4 of the paper: *"These overlays can be used by distributed algorithms
+to common tasks like aggregation, routing, or sampling in logarithmic
+time."*  This module provides those primitives on top of a
+:class:`repro.core.child_sibling.RootedTree` (typically the well-formed
+tree produced by the Theorem 1.1 pipeline), with explicit round charges:
+
+- **broadcast** — root to all nodes, ``depth`` rounds;
+- **convergecast aggregation** — any associative/commutative reduction
+  climbs the tree in ``depth`` rounds;
+- **enumeration** — every node learns its rank in a global order
+  (Euler-tour preorder), the backbone for the topology constructions in
+  :mod:`repro.core.topologies`;
+- **routing** — the unique tree path between two nodes (length at most
+  ``2·depth + 1``), found through the lowest common ancestor.
+
+Because the well-formed tree has degree ≤ 3 and depth ``O(log n)``, every
+primitive is ``O(log n)`` rounds with ``O(1)`` messages per node per
+round — the paper's claim in concrete form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.child_sibling import RootedTree
+from repro.core.euler import preorder_and_sizes
+
+__all__ = ["TreePrimitives"]
+
+
+@dataclass
+class _AggregateResult:
+    """Value and round cost of a convergecast."""
+
+    value: object
+    rounds: int
+
+
+class TreePrimitives:
+    """Aggregation, enumeration, and routing over a rooted tree.
+
+    Parameters
+    ----------
+    tree:
+        Any rooted tree; primitives charge rounds proportional to its
+        depth, so a well-formed tree gives the ``O(log n)`` costs the
+        paper advertises.
+    """
+
+    def __init__(self, tree: RootedTree) -> None:
+        tree.validate()
+        self.tree = tree
+        self._children = tree.children_lists()
+        self._depth = tree.depth_array()
+        self._labels: np.ndarray | None = None
+        self._sizes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    @property
+    def height(self) -> int:
+        """Tree height = the per-primitive round cost driver."""
+        return int(self._depth.max(initial=0))
+
+    # ------------------------------------------------------------------
+    def broadcast_rounds(self) -> int:
+        """Rounds for a root announcement to reach every node."""
+        return self.height
+
+    def aggregate(
+        self,
+        values: Sequence,
+        combine: Callable[[object, object], object],
+    ) -> _AggregateResult:
+        """Convergecast reduction of per-node ``values`` with an
+        associative, commutative ``combine``.
+
+        Children report upward level by level; the root holds the total
+        after ``height`` rounds.
+        """
+        if len(values) != self.n:
+            raise ValueError(f"need one value per node, got {len(values)}")
+        acc = list(values)
+        order = sorted(range(self.n), key=lambda v: -int(self._depth[v]))
+        for v in order:
+            for c in self._children[v]:
+                acc[v] = combine(acc[v], acc[c])
+        return _AggregateResult(value=acc[self.tree.root], rounds=self.height)
+
+    def count_nodes(self) -> _AggregateResult:
+        """The simplest aggregation: ``n`` at the root in ``height``
+        rounds (used to learn the exact ``n`` the algorithms only assumed
+        an upper bound for)."""
+        return self.aggregate([1] * self.n, lambda a, b: a + b)
+
+    # ------------------------------------------------------------------
+    def enumerate_nodes(self) -> tuple[np.ndarray, int]:
+        """Assign every node a unique rank in ``0 .. n-1``.
+
+        Uses the Euler-tour preorder (pointer-jumping list ranking —
+        ``O(log n)`` rounds), the same machinery as the well-forming
+        step.  Returns ``(ranks, rounds)``.
+        """
+        if self._labels is None:
+            self._labels, self._sizes, self._rank_rounds = preorder_and_sizes(
+                self.tree
+            )
+        return self._labels - 1, self._rank_rounds
+
+    # ------------------------------------------------------------------
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor (by parent-pointer climbing)."""
+        da, db = int(self._depth[a]), int(self._depth[b])
+        parent = self.tree.parent
+        while da > db:
+            a = int(parent[a])
+            da -= 1
+        while db > da:
+            b = int(parent[b])
+            db -= 1
+        while a != b:
+            a = int(parent[a])
+            b = int(parent[b])
+        return a
+
+    def route(self, src: int, dst: int) -> tuple[list[int], int]:
+        """The unique tree path from ``src`` to ``dst``.
+
+        Returns ``(path, rounds)`` where ``rounds`` = path length (one
+        forwarding hop per round).  Length is at most ``2·height``, i.e.
+        ``O(log n)`` on a well-formed tree.
+        """
+        meet = self.lca(src, dst)
+        parent = self.tree.parent
+        up = [src]
+        while up[-1] != meet:
+            up.append(int(parent[up[-1]]))
+        down = [dst]
+        while down[-1] != meet:
+            down.append(int(parent[down[-1]]))
+        path = up + down[::-1][1:]
+        return path, len(path) - 1
+
+    # ------------------------------------------------------------------
+    def sample_node(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Uniform random node via subtree-size descent.
+
+        The root draws a rank uniformly and routes towards it using the
+        subtree sizes (each hop discards the subtrees the rank does not
+        fall into) — ``height`` rounds, the paper's "sampling in
+        logarithmic time".  Returns ``(node, rounds)``.
+        """
+        if self._sizes is None:
+            self.enumerate_nodes()
+        target = int(rng.integers(0, self.n))
+        ranks, _ = self.enumerate_nodes()
+        node = int(np.nonzero(ranks == target)[0][0])
+        return node, self.height

@@ -1,0 +1,161 @@
+"""Message-level rooting phase: min-id flooding + BFS under NCC0.
+
+Completes the message-level story of Theorem 1.1: after
+:mod:`repro.core.protocol` has built the expander graph with enforced
+capacities, this module executes the *rooting* phase (§2.1, footnote 8)
+node-by-node on the same simulator:
+
+1. **min-id flooding** — every node repeatedly announces the smallest
+   identifier it has heard to all distinct neighbours; after
+   ``O(diameter)`` = ``O(log n)`` rounds everyone agrees on the root;
+2. **BFS** — the root announces depth 0; a node adopting a parent
+   announces its depth next round; ties break towards the smaller
+   offering id (the same rule as the reference BFS, so the two are
+   cross-checkable).
+
+Every announcement is a real :class:`repro.net.message.Message` subject
+to the NCC0 send/receive budgets.  A node sends at most one message per
+distinct neighbour per round (≤ `Δ` = the capacity), so no drops occur —
+asserted by the tests.
+
+The final rebalancing (child–sibling + Euler tour) is charged
+analytically by the pipeline (DESIGN.md §2.7); its message pattern is one
+pointer-jump request per hosted tour element per round, which also fits
+the ``O(Δ)`` budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.portgraph import PortGraph
+from repro.net.message import Message
+from repro.net.network import CapacityPolicy, NetworkMetrics, ProtocolNode, SyncNetwork
+
+__all__ = ["TreeProtocolResult", "run_protocol_rooting"]
+
+
+class _RootingNode(ProtocolNode):
+    """One node of the flooding + BFS protocol."""
+
+    def __init__(self, node_id: int, neighbors: list[int], flood_rounds: int) -> None:
+        super().__init__(node_id)
+        self.neighbors = sorted(set(neighbors))
+        self.flood_rounds = flood_rounds
+        self.best = node_id
+        self.parent = -1
+        self.depth = -1
+        self._announced_depth = False
+        self._done = False
+
+    def on_round(self, round_no: int, inbox: list[Message]) -> list[Message]:
+        out: list[Message] = []
+        if round_no < self.flood_rounds:
+            # Flooding phase: adopt and re-announce the minimum id.
+            for msg in inbox:
+                if msg.kind == "min_id" and msg.payload < self.best:
+                    self.best = msg.payload
+            out.extend(
+                Message(self.node_id, u, "min_id", self.best)
+                for u in self.neighbors
+            )
+            return out
+
+        if round_no == self.flood_rounds and self.best == self.node_id:
+            # Flooding converged: the unique minimum roots the BFS.
+            self.parent = self.node_id
+            self.depth = 0
+
+        offers = [
+            msg for msg in inbox if msg.kind == "bfs_offer"
+        ]
+        if self.parent < 0 and offers:
+            chosen = min(offers, key=lambda m: m.sender)
+            self.parent = chosen.sender
+            self.depth = int(chosen.payload) + 1
+        if self.parent >= 0 and not self._announced_depth:
+            self._announced_depth = True
+            out.extend(
+                Message(self.node_id, u, "bfs_offer", self.depth)
+                for u in self.neighbors
+                if u != self.parent
+            )
+        self._done = self.parent >= 0 and self._announced_depth
+        return out
+
+    def is_idle(self) -> bool:
+        return self._done
+
+
+@dataclass
+class TreeProtocolResult:
+    """Outcome of the message-level rooting phase."""
+
+    root: int
+    parent: np.ndarray
+    depth: np.ndarray
+    metrics: NetworkMetrics
+    rounds: int
+
+
+def run_protocol_rooting(
+    graph: PortGraph,
+    flood_rounds: int,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    max_rounds: int | None = None,
+) -> TreeProtocolResult:
+    """Execute flooding + BFS message-by-message on an overlay graph.
+
+    Parameters
+    ----------
+    graph:
+        The (connected) expander :class:`PortGraph` produced by the
+        evolution phase.
+    flood_rounds:
+        Length of the flooding phase; the paper uses the known bound
+        ``L ≥ log n ≥ diameter`` rounds.  If flooding has not stabilised
+        by then the BFS may root at a non-minimum id — callers pass the
+        same `O(log n)` budget the paper assumes.
+    capacity:
+        NCC0 budget; defaults to ``Δ`` messages per round, matching the
+        evolution phase.
+
+    Raises
+    ------
+    RuntimeError
+        If the BFS fails to span within ``max_rounds`` (disconnected
+        input or starved capacity).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = graph.n
+    if capacity is None:
+        capacity = CapacityPolicy.ncc0(n, graph.delta)
+    neighbor_sets = graph.neighbor_sets()
+    nodes = {
+        v: _RootingNode(v, sorted(neighbor_sets[v]), flood_rounds)
+        for v in range(n)
+    }
+    network = SyncNetwork(nodes, capacity, rng)
+    if max_rounds is None:
+        max_rounds = flood_rounds + 4 * flood_rounds + 8
+    metrics = network.run(max_rounds=max_rounds)
+
+    parent = np.array([nodes[v].parent for v in range(n)], dtype=np.int64)
+    depth = np.array([nodes[v].depth for v in range(n)], dtype=np.int64)
+    if (parent < 0).any():
+        missing = int((parent < 0).sum())
+        raise RuntimeError(f"BFS did not span: {missing} nodes unreached")
+    roots = [v for v in range(n) if parent[v] == v]
+    if len(roots) != 1:
+        raise RuntimeError(f"expected a unique root, got {roots}")
+    return TreeProtocolResult(
+        root=roots[0],
+        parent=parent,
+        depth=depth,
+        metrics=metrics,
+        rounds=metrics.rounds,
+    )

@@ -1,0 +1,192 @@
+"""Structured overlay topologies from a well-formed tree (§1.4).
+
+The paper's first corollary: *"any 'well-behaved' overlay of logarithmic
+degree and diameter (e.g., butterfly networks, path graphs, sorted rings,
+trees, regular expanders, DeBruijn graphs, etc.) can be constructed in
+O(log n) rounds, w.h.p."*
+
+The recipe: enumerate the nodes ``0 .. n-1`` over the well-formed tree
+(Euler-tour ranks, ``O(log n)`` rounds), then realise the target
+topology's *rank arithmetic* — each node must learn the identifiers of
+the nodes holding its neighbouring ranks, which takes ``O(log n)`` rounds
+of routing introductions through the tree (each rank-neighbour request
+travels ``O(log n)`` hops; degree-``O(1)`` targets mean ``O(log n)``
+messages per node in total).  This module builds:
+
+- **sorted path / sorted ring** — ranks ``r ± 1`` (the classic base for
+  Aspnes–Wu style structures);
+- **hypercube** — ranks ``r XOR 2^k`` (padded to the next power of two);
+- **wrapped butterfly** — ``(level, row)`` pairs with straight/cross
+  edges;
+- **De Bruijn graph** — binary shifts ``2r mod m``, ``2r+1 mod m``.
+
+Every constructor returns an :class:`OverlayTopology` whose adjacency is
+validated (degree / diameter) by the tests and the X1 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.child_sibling import RootedTree
+from repro.core.primitives import TreePrimitives
+from repro.graphs.analysis import diameter, is_connected
+
+__all__ = [
+    "OverlayTopology",
+    "build_sorted_path",
+    "build_sorted_ring",
+    "build_hypercube",
+    "build_butterfly",
+    "build_debruijn",
+]
+
+
+@dataclass
+class OverlayTopology:
+    """A structured overlay realised on the tree's rank space.
+
+    Attributes
+    ----------
+    name:
+        Topology family (``"sorted_ring"``, ``"butterfly"``, …).
+    adj:
+        Adjacency sets over the *original node identifiers*.
+    ranks:
+        ``ranks[v]`` is the rank node ``v`` holds in the construction.
+    rounds:
+        Charged construction rounds: enumeration + ``O(log n)`` routing
+        of the rank-neighbour introductions.
+    """
+
+    name: str
+    adj: list[set[int]]
+    ranks: np.ndarray
+    rounds: int
+
+    @property
+    def n(self) -> int:
+        return len(self.adj)
+
+    def max_degree(self) -> int:
+        return max((len(a) for a in self.adj), default=0)
+
+    def overlay_diameter(self) -> int:
+        return diameter(self.adj)
+
+    def is_connected(self) -> bool:
+        return is_connected(self.adj)
+
+
+def _start(tree: RootedTree) -> tuple[TreePrimitives, np.ndarray, np.ndarray, int]:
+    prims = TreePrimitives(tree)
+    ranks, enum_rounds = prims.enumerate_nodes()
+    node_of = np.empty(tree.n, dtype=np.int64)
+    node_of[ranks] = np.arange(tree.n)
+    # Rank-neighbour introductions route through the tree: O(log n) hops
+    # per request, O(1) requests per node for constant-degree targets.
+    routing_rounds = 2 * max(1, prims.height)
+    return prims, ranks, node_of, enum_rounds + routing_rounds
+
+
+def _topology_from_rank_edges(
+    name: str,
+    tree: RootedTree,
+    rank_edges,
+) -> OverlayTopology:
+    prims, ranks, node_of, rounds = _start(tree)
+    n = tree.n
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for ra, rb in rank_edges(n):
+        a, b = int(node_of[ra]), int(node_of[rb])
+        if a != b:
+            adj[a].add(b)
+            adj[b].add(a)
+    return OverlayTopology(name=name, adj=adj, ranks=ranks, rounds=rounds)
+
+
+def build_sorted_path(tree: RootedTree) -> OverlayTopology:
+    """Path in rank order: degree ≤ 2, the substrate for [4]-style
+    constructions."""
+    return _topology_from_rank_edges(
+        "sorted_path", tree, lambda n: ((r, r + 1) for r in range(n - 1))
+    )
+
+
+def build_sorted_ring(tree: RootedTree) -> OverlayTopology:
+    """Sorted ring: ranks ``r`` and ``(r+1) mod n`` joined — the overlay
+    the paper suggests building via a BFS + Aspnes–Wu pass."""
+
+    def edges(n):
+        for r in range(n):
+            yield (r, (r + 1) % n)
+
+    return _topology_from_rank_edges("sorted_ring", tree, edges)
+
+
+def build_hypercube(tree: RootedTree) -> OverlayTopology:
+    """Hypercube on the rank space, folded onto ``n`` nodes.
+
+    Ranks connect to ``r XOR 2^k`` for every bit ``k``; when ``n`` is not
+    a power of two, the partner rank is folded back modulo ``n`` (the
+    standard incomplete-hypercube fix), preserving connectivity and
+    ``O(log n)`` degree/diameter.
+    """
+
+    def edges(n):
+        bits = max(1, math.ceil(math.log2(max(2, n))))
+        for r in range(n):
+            for k in range(bits):
+                partner = r ^ (1 << k)
+                if partner >= n:
+                    partner %= n
+                if partner != r:
+                    yield (r, partner)
+
+    return _topology_from_rank_edges("hypercube", tree, edges)
+
+
+def build_butterfly(tree: RootedTree) -> OverlayTopology:
+    """Wrapped butterfly on the rank space.
+
+    A wrapped butterfly has ``k · 2^k`` positions ``(level, row)``; the
+    smallest ``k`` with ``k · 2^k ≥ n`` is chosen and surplus positions
+    are folded onto the ranks modulo ``n`` (a quotient of a connected
+    graph stays connected).  Each position connects to the *straight* and
+    *cross* neighbours on the next level; the cross edge at level ``i``
+    flips row bit ``i``, so all ``k`` bits get flipped around the wrap —
+    degree ``O(1)`` (plus folding) and diameter ``O(log n)``.
+    """
+
+    def edges(n):
+        k = 2
+        while k * (1 << k) < n:
+            k += 1
+        rows = 1 << k
+
+        def rank_of(level, row):
+            return (level * rows + row) % n
+
+        for level in range(k):
+            nxt = (level + 1) % k
+            for row in range(rows):
+                here = rank_of(level, row)
+                yield (here, rank_of(nxt, row))
+                yield (here, rank_of(nxt, row ^ (1 << level)))
+
+    return _topology_from_rank_edges("butterfly", tree, edges)
+
+
+def build_debruijn(tree: RootedTree) -> OverlayTopology:
+    """Binary De Bruijn graph on the rank space: ``r → 2r mod n`` and
+    ``r → (2r + 1) mod n``.  Degree ≤ 4, diameter ``O(log n)``."""
+
+    def edges(n):
+        for r in range(n):
+            yield (r, (2 * r) % n)
+            yield (r, (2 * r + 1) % n)
+
+    return _topology_from_rank_edges("debruijn", tree, edges)

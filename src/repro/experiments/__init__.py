@@ -1,0 +1,5 @@
+"""Shared experiment harness for the benchmark suite (DESIGN.md §3)."""
+
+from repro.experiments.harness import Table, fit_vs_logn, geometric_sizes, loglog_slope
+
+__all__ = ["Table", "fit_vs_logn", "geometric_sizes", "loglog_slope"]

@@ -1,0 +1,61 @@
+"""Graph substrate: topology generators, port multigraphs, and analysis.
+
+This subpackage provides everything the overlay-construction algorithms need
+to know about graphs:
+
+- :mod:`repro.graphs.generators` — adversarial and benign input topologies
+  (lines, cycles, grids, trees, barbells, expanders, multi-component
+  mixtures) used as workloads throughout the test and benchmark suites.
+- :mod:`repro.graphs.portgraph` — the ``Δ``-regular lazy multigraph
+  representation ("benign graph", Definition 2.1 of the paper) on which
+  every evolution of ``CreateExpander`` operates.
+- :mod:`repro.graphs.analysis` — BFS-based diameter/connectivity and exact
+  small-graph conductance.
+- :mod:`repro.graphs.spectral` — spectral gap of the lazy walk matrix,
+  Cheeger bounds, and Fiedler sweep cuts.
+- :mod:`repro.graphs.mincut` — a from-scratch Stoer–Wagner global minimum
+  cut used to check the ``Λ``-cut benignness invariant.
+"""
+
+from repro.graphs.portgraph import PortGraph
+from repro.graphs.analysis import (
+    adjacency_sets,
+    bfs_distances,
+    connected_components,
+    conductance_exact,
+    conductance_of_set,
+    diameter,
+    is_connected,
+)
+from repro.graphs.spectral import (
+    cheeger_bounds,
+    fiedler_sweep_conductance,
+    lazy_walk_matrix,
+    spectral_gap,
+)
+from repro.graphs.mincut import stoer_wagner_min_cut
+from repro.graphs.unionfind import UnionFind
+from repro.graphs.rmq import SparseTable
+from repro.graphs.churn import ChurnReport, churn_report, fail_nodes, survival_curve
+
+__all__ = [
+    "PortGraph",
+    "adjacency_sets",
+    "bfs_distances",
+    "connected_components",
+    "conductance_exact",
+    "conductance_of_set",
+    "diameter",
+    "is_connected",
+    "cheeger_bounds",
+    "fiedler_sweep_conductance",
+    "lazy_walk_matrix",
+    "spectral_gap",
+    "stoer_wagner_min_cut",
+    "UnionFind",
+    "SparseTable",
+    "ChurnReport",
+    "churn_report",
+    "fail_nodes",
+    "survival_curve",
+]

@@ -1,0 +1,267 @@
+"""From-scratch structural graph analysis: BFS, diameter, components,
+and conductance.
+
+All routines here operate on *adjacency sets* (``list[set[int]]``), the
+lowest-common-denominator representation shared by :class:`nx.Graph`
+workloads and :class:`repro.graphs.portgraph.PortGraph` overlays, so that
+every algorithm in the repository can be measured with the same tools.
+
+Conductance notes
+-----------------
+For a ``Δ``-regular (multi)graph the paper defines (Definition 1.7)::
+
+    Φ(S) = |E(S, V \\ S)| / (Δ |S|),        |S| ≤ n/2
+
+Exact minimisation over all subsets is exponential; :func:`conductance_exact`
+enumerates subsets and is intentionally capped at small ``n`` (it anchors the
+spectral estimates used at scale — see :mod:`repro.graphs.spectral`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "adjacency_sets",
+    "bfs_distances",
+    "bfs_tree",
+    "connected_components",
+    "is_connected",
+    "diameter",
+    "eccentricity",
+    "conductance_of_set",
+    "conductance_exact",
+    "edge_boundary_size",
+    "vertex_expansion_of_set",
+    "min_vertex_expansion_exact",
+    "degree_stats",
+]
+
+
+def adjacency_sets(graph) -> list[set[int]]:
+    """Normalise a graph-like object into ``list[set[int]]`` adjacency.
+
+    Accepts a :class:`networkx.Graph`/``DiGraph`` (directions ignored, per
+    the paper's convention of treating the knowledge graph as undirected), a
+    :class:`PortGraph`, or an existing adjacency list (returned as-is after
+    a shallow copy).
+    """
+    if hasattr(graph, "neighbor_sets"):  # PortGraph
+        return graph.neighbor_sets()
+    if isinstance(graph, (nx.Graph, nx.DiGraph)):
+        n = graph.number_of_nodes()
+        adj: list[set[int]] = [set() for _ in range(n)]
+        for a, b in graph.edges:
+            if a == b:
+                continue
+            adj[a].add(b)
+            adj[b].add(a)
+        return adj
+    return [set(neigh) for neigh in graph]
+
+
+def bfs_distances(adj: Sequence[set[int]], source: int) -> np.ndarray:
+    """Hop distances from ``source``; unreachable nodes get ``-1``."""
+    n = len(adj)
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in adj[v]:
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def bfs_tree(adj: Sequence[set[int]], root: int) -> np.ndarray:
+    """Parent array of a BFS tree rooted at ``root`` (parent of root is
+    ``root`` itself; unreachable nodes get ``-1``).
+
+    Ties between equally close parents are broken towards the smallest
+    node id, matching the deterministic tie-breaks used by the distributed
+    BFS in :mod:`repro.core.bfs` so the two can be cross-checked.
+    """
+    n = len(adj)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    frontier = [root]
+    while frontier:
+        nxt: list[int] = []
+        for v in sorted(frontier):
+            for u in sorted(adj[v]):
+                if parent[u] < 0:
+                    parent[u] = v
+                    nxt.append(u)
+        frontier = nxt
+    return parent
+
+
+def connected_components(adj: Sequence[set[int]]) -> list[list[int]]:
+    """Connected components as sorted node lists (BFS sweep)."""
+    n = len(adj)
+    seen = np.zeros(n, dtype=bool)
+    comps: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        comp = [start]
+        seen[start] = True
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in adj[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    comp.append(u)
+                    queue.append(u)
+        comps.append(sorted(comp))
+    return comps
+
+
+def is_connected(adj: Sequence[set[int]]) -> bool:
+    """True if the (undirected) graph has a single connected component."""
+    if len(adj) == 0:
+        return True
+    return int((bfs_distances(adj, 0) >= 0).sum()) == len(adj)
+
+
+def eccentricity(adj: Sequence[set[int]], source: int) -> int:
+    """Maximum hop distance from ``source``; raises if disconnected."""
+    dist = bfs_distances(adj, source)
+    if (dist < 0).any():
+        raise ValueError("graph is disconnected")
+    return int(dist.max())
+
+
+def diameter(adj: Sequence[set[int]], exact_threshold: int = 2048) -> int:
+    """Graph diameter (maximum pairwise hop distance).
+
+    Exact (all-pairs BFS) for ``n ≤ exact_threshold``; beyond that uses a
+    standard double-sweep + random-probe *lower-bound* heuristic, which is
+    exact on trees and empirically tight on the expander-like graphs this
+    repository produces.  Every experiment that feeds large graphs here
+    only needs an upper-bound *check* ("diameter ≤ c log n"), for which a
+    lower-bound estimate failing the check would be a true failure.
+    """
+    n = len(adj)
+    if n == 0:
+        return 0
+    if not is_connected(adj):
+        raise ValueError("diameter undefined for disconnected graph")
+    if n <= exact_threshold:
+        best = 0
+        for v in range(n):
+            best = max(best, int(bfs_distances(adj, v).max()))
+        return best
+    # Double sweep from a few probes.
+    best = 0
+    probes = {0, n // 2, n - 1}
+    for p in probes:
+        dist = bfs_distances(adj, p)
+        far = int(dist.argmax())
+        best = max(best, int(bfs_distances(adj, far).max()))
+    return best
+
+
+def edge_boundary_size(adj: Sequence[set[int]], subset: Iterable[int]) -> int:
+    """Number of (simple-graph) edges leaving ``subset``."""
+    inside = set(subset)
+    return sum(1 for v in inside for u in adj[v] if u not in inside)
+
+
+def conductance_of_set(graph, subset: Iterable[int]) -> float:
+    """Conductance ``Φ(S)`` of a node subset per Definition 1.7.
+
+    For a :class:`PortGraph` the boundary counts parallel edges and the
+    denominator is ``Δ |S|``; for a simple graph the denominator uses the
+    maximum degree (the regularised form used throughout the paper).
+    """
+    subset = set(subset)
+    if not subset:
+        raise ValueError("subset must be non-empty")
+    if hasattr(graph, "ports"):  # PortGraph: count ports crossing the cut
+        ports = graph.ports
+        inside = np.zeros(graph.n, dtype=bool)
+        inside[list(subset)] = True
+        crossing = int((inside[:, None] & ~inside[ports])[list(subset)].sum())
+        return crossing / (graph.delta * len(subset))
+    adj = adjacency_sets(graph)
+    degree = max((len(a) for a in adj), default=1) or 1
+    return edge_boundary_size(adj, subset) / (degree * len(subset))
+
+
+def conductance_exact(graph, max_n: int = 18) -> float:
+    """Exact conductance ``Φ(G) = min_{|S| ≤ n/2} Φ(S)`` by enumeration.
+
+    Exponential in ``n``; guarded by ``max_n``.  Used to validate the
+    spectral estimates (Cheeger sandwich) on small graphs.
+    """
+    if hasattr(graph, "ports"):
+        n = graph.n
+    else:
+        adj = adjacency_sets(graph)
+        n = len(adj)
+    if n > max_n:
+        raise ValueError(f"exact conductance capped at n={max_n} (got n={n})")
+    if n < 2:
+        raise ValueError("conductance needs at least 2 nodes")
+    best = float("inf")
+    nodes = list(range(n))
+    for size in range(1, n // 2 + 1):
+        for subset in combinations(nodes, size):
+            best = min(best, conductance_of_set(graph, subset))
+    return best
+
+
+def vertex_expansion_of_set(adj: Sequence[set[int]], subset: Iterable[int]) -> float:
+    """Vertex expansion ``|N(S) \\ S| / |S|`` of a node subset.
+
+    §5 of the paper proposes tracking vertex expansion (not just edge
+    conductance) to argue churn robustness: a set must not only have many
+    outgoing *edges* but reach many *distinct* nodes, so that failures
+    cannot sever it by killing a few neighbours.  Used by the churn
+    experiments as a complementary robustness measure.
+    """
+    inside = set(subset)
+    if not inside:
+        raise ValueError("subset must be non-empty")
+    boundary = {u for v in inside for u in adj[v] if u not in inside}
+    return len(boundary) / len(inside)
+
+
+def min_vertex_expansion_exact(adj: Sequence[set[int]], max_n: int = 16) -> float:
+    """Exact minimum vertex expansion over subsets of size ≤ n/2.
+
+    Exponential; guarded by ``max_n``.  Anchors the sampled estimates in
+    the robustness analyses.
+    """
+    n = len(adj)
+    if n > max_n:
+        raise ValueError(f"exact vertex expansion capped at n={max_n}")
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    best = float("inf")
+    nodes = list(range(n))
+    for size in range(1, n // 2 + 1):
+        for subset in combinations(nodes, size):
+            best = min(best, vertex_expansion_of_set(adj, subset))
+    return best
+
+
+def degree_stats(adj: Sequence[set[int]]) -> dict[str, float]:
+    """Simple degree summary used in experiment tables."""
+    degrees = np.array([len(a) for a in adj], dtype=np.int64)
+    if degrees.size == 0:
+        return {"min": 0, "max": 0, "mean": 0.0}
+    return {
+        "min": int(degrees.min()),
+        "max": int(degrees.max()),
+        "mean": float(degrees.mean()),
+    }

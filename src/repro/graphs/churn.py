@@ -1,0 +1,114 @@
+"""Churn simulation: random node failures against overlay graphs (§1.4).
+
+The paper argues its overlays resist oblivious churn: *"If the nodes fail
+independently and random with a certain probability, say p, a logarithmic
+sized minimum cut (of different nodes) is enough to keep the network
+connected w.h.p."*  This module provides the measurement machinery for
+that claim (used by the X3 bench and the ``churn_recovery`` example):
+
+- :func:`fail_nodes` — kill an independent ``p``-fraction of nodes and
+  return the surviving induced adjacency;
+- :func:`churn_report` — connectivity structure of the survivors
+  (largest component fraction, component count);
+- :func:`survival_curve` — sweep ``p`` over seeds for a whole graph,
+  producing the robustness curve that contrasts the expander overlay
+  with its fragile input topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.analysis import adjacency_sets, connected_components
+
+__all__ = ["ChurnReport", "fail_nodes", "churn_report", "survival_curve"]
+
+
+@dataclass
+class ChurnReport:
+    """Connectivity of the survivors after one churn event."""
+
+    survivors: int
+    components: int
+    largest_component: int
+
+    @property
+    def largest_fraction(self) -> float:
+        """Largest surviving component as a fraction of survivors."""
+        if self.survivors == 0:
+            return 0.0
+        return self.largest_component / self.survivors
+
+    @property
+    def stayed_connected(self) -> bool:
+        return self.components <= 1
+
+
+def fail_nodes(
+    graph, p: float, rng: np.random.Generator
+) -> tuple[list[set[int]], np.ndarray]:
+    """Kill each node independently with probability ``p``.
+
+    Returns ``(surviving_adjacency, alive_mask)``; dead nodes keep empty
+    adjacency entries (original labels preserved).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    adj = adjacency_sets(graph)
+    n = len(adj)
+    alive = rng.random(n) > p
+    surviving = [
+        {u for u in neigh if alive[u]} if alive[v] else set()
+        for v, neigh in enumerate(adj)
+    ]
+    return surviving, alive
+
+
+def churn_report(surviving_adj: list[set[int]], alive: np.ndarray) -> ChurnReport:
+    """Connectivity structure of one churn outcome."""
+    comps = [
+        c for c in connected_components(surviving_adj) if alive[c[0]]
+    ]
+    survivors = int(alive.sum())
+    return ChurnReport(
+        survivors=survivors,
+        components=len(comps),
+        largest_component=max((len(c) for c in comps), default=0),
+    )
+
+
+def survival_curve(
+    graph,
+    failure_probs: list[float],
+    rng: np.random.Generator,
+    trials: int = 5,
+) -> list[dict]:
+    """Sweep churn levels; average the connectivity structure per level.
+
+    Returns one dict per ``p`` with mean largest-component fraction,
+    mean component count, and the fraction of trials that stayed
+    connected.
+    """
+    adj = adjacency_sets(graph)
+    rows = []
+    for p in failure_probs:
+        fractions = []
+        comp_counts = []
+        connected_trials = 0
+        for _ in range(trials):
+            surviving, alive = fail_nodes(adj, p, rng)
+            report = churn_report(surviving, alive)
+            fractions.append(report.largest_fraction)
+            comp_counts.append(report.components)
+            connected_trials += int(report.stayed_connected)
+        rows.append(
+            {
+                "p": p,
+                "mean_largest_fraction": float(np.mean(fractions)),
+                "mean_components": float(np.mean(comp_counts)),
+                "connected_rate": connected_trials / trials,
+            }
+        )
+    return rows

@@ -1,0 +1,450 @@
+"""Workload topologies for overlay-construction experiments.
+
+The paper's guarantees are *worst case over weakly connected input graphs*,
+so the interesting workloads are the adversarially badly-connected ones: a
+line has conductance ``Θ(1/n)``, a barbell ``Θ(1/n²)`` locally around its
+bridge, grids ``Θ(1/√n)``, and so on.  The generators below construct all
+graphs used by the test suite and the experiment harness.
+
+All generators return a :class:`networkx.Graph` with nodes labelled
+``0 .. n-1``.  ``networkx`` is used purely as a container — every structural
+algorithm in this repository (BFS, cuts, conductance, components, …) is
+implemented from scratch; ``networkx``'s own algorithms only appear in
+*tests* as differential ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "line_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree",
+    "random_tree",
+    "caterpillar",
+    "double_star",
+    "grid_2d",
+    "torus_2d",
+    "hypercube",
+    "random_regular",
+    "erdos_renyi_connected",
+    "barbell",
+    "lollipop",
+    "ring_of_cliques",
+    "two_cliques_bridge",
+    "component_mixture",
+    "random_orientation",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+def _empty(n: int) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    return graph
+
+
+def line_graph(n: int) -> nx.Graph:
+    """Path on ``n`` nodes — the paper's canonical worst case (§1).
+
+    Conductance ``Θ(1/n)`` and diameter ``n - 1``; the introduction's lower
+    bound argument ("if the nodes initially form a line…") is about exactly
+    this topology.
+    """
+    graph = _empty(n)
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """Cycle on ``n`` nodes: conductance ``Θ(1/n)``, diameter ``⌊n/2⌋``."""
+    if n < 3:
+        return line_graph(n)
+    graph = _empty(n)
+    graph.add_edges_from((i, (i + 1) % n) for i in range(n))
+    return graph
+
+
+def star_graph(n: int) -> nx.Graph:
+    """Star with centre ``0``: diameter 2 but maximum degree ``n - 1``."""
+    graph = _empty(n)
+    graph.add_edges_from((0, i) for i in range(1, n))
+    return graph
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """Clique on ``n`` nodes (constant conductance reference point)."""
+    graph = _empty(n)
+    graph.add_edges_from((i, j) for i in range(n) for j in range(i + 1, n))
+    return graph
+
+
+def binary_tree(n: int) -> nx.Graph:
+    """Complete binary tree shape on ``n`` nodes (heap numbering)."""
+    graph = _empty(n)
+    graph.add_edges_from((child, (child - 1) // 2) for child in range(1, n))
+    return graph
+
+
+def random_tree(n: int, rng: np.random.Generator) -> nx.Graph:
+    """Uniform-attachment random tree: node ``i`` attaches to a random
+    earlier node.  Expected depth ``Θ(log n)`` but degree up to ``Θ(log n)``.
+    """
+    graph = _empty(n)
+    for child in range(1, n):
+        parent = int(rng.integers(0, child))
+        graph.add_edge(child, parent)
+    return graph
+
+
+def caterpillar(n: int, leg_every: int = 2) -> nx.Graph:
+    """Caterpillar: a spine path with a leaf hung off every ``leg_every``-th
+    spine node.  Line-like conductance with degree-3 spine nodes.
+    """
+    spine_len = max(1, (n + 1) // 2) if leg_every == 2 else max(1, n - n // (leg_every + 1))
+    graph = _empty(n)
+    spine = list(range(spine_len))
+    graph.add_edges_from((spine[i], spine[i + 1]) for i in range(len(spine) - 1))
+    nxt = spine_len
+    for i, s in enumerate(spine):
+        if nxt >= n:
+            break
+        if i % leg_every == 0:
+            graph.add_edge(s, nxt)
+            nxt += 1
+    # Attach any remaining nodes to the end of the spine to reach n nodes.
+    while nxt < n:
+        graph.add_edge(spine[-1], nxt)
+        nxt += 1
+    return graph
+
+
+def double_star(n: int) -> nx.Graph:
+    """Two stars joined by a bridge edge — a minimum cut of size one."""
+    graph = _empty(n)
+    half = n // 2
+    graph.add_edges_from((0, i) for i in range(2, half))
+    graph.add_edges_from((1, i) for i in range(half, n))
+    graph.add_edge(0, 1)
+    return graph
+
+
+def grid_2d(rows: int, cols: int) -> nx.Graph:
+    """``rows × cols`` grid: conductance ``Θ(1/√n)``."""
+    graph = _empty(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def torus_2d(rows: int, cols: int) -> nx.Graph:
+    """``rows × cols`` torus (wrap-around grid); 4-regular when both ≥ 3."""
+    graph = _empty(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            graph.add_edge(v, r * cols + (c + 1) % cols)
+            graph.add_edge(v, ((r + 1) % rows) * cols + c)
+    return graph
+
+
+def hypercube(dim: int) -> nx.Graph:
+    """``dim``-dimensional hypercube on ``2^dim`` nodes (a mild expander)."""
+    n = 1 << dim
+    graph = _empty(n)
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                graph.add_edge(v, u)
+    return graph
+
+
+def random_regular(n: int, degree: int, rng: np.random.Generator, max_tries: int = 50) -> nx.Graph:
+    """Random ``degree``-regular simple graph via the pairing model with
+    double-edge-swap repair.
+
+    The raw pairing model produces self-loops and parallel edges with
+    probability ``1 - e^{-Θ(d²)}``, so instead of resampling (hopeless for
+    ``d ≥ 5``) defective pairs are repaired by swapping with uniformly
+    random good pairs — the standard configuration-model fix-up.  The
+    result is ``degree``-regular, simple, connected (retrying the whole
+    sample if the rare disconnected case occurs), and an expander w.h.p.
+    """
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph")
+    if degree >= n:
+        raise ValueError("degree must be < n")
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        pairs: list[list[int]] = [
+            [int(a), int(b)] for a, b in stubs.reshape(-1, 2)
+        ]
+        counts: dict[tuple[int, int], int] = {}
+
+        def key_of(pair: list[int]) -> tuple[int, int]:
+            return (min(pair), max(pair))
+
+        for pair in pairs:
+            counts[key_of(pair)] = counts.get(key_of(pair), 0) + 1
+
+        def is_bad(pair: list[int]) -> bool:
+            return pair[0] == pair[1] or counts[key_of(pair)] > 1
+
+        repaired = True
+        for idx in range(len(pairs)):
+            attempts = 0
+            while is_bad(pairs[idx]):
+                attempts += 1
+                if attempts > 200:
+                    repaired = False
+                    break
+                other = int(rng.integers(0, len(pairs)))
+                if other == idx:
+                    continue
+                a, b = pairs[idx]
+                c, d = pairs[other]
+                # Swap to (a, c), (b, d); require both results simple+new.
+                if a == c or b == d:
+                    continue
+                new1, new2 = (min(a, c), max(a, c)), (min(b, d), max(b, d))
+                if counts.get(new1, 0) or counts.get(new2, 0) or new1 == new2:
+                    continue
+                for old in (key_of(pairs[idx]), key_of(pairs[other])):
+                    counts[old] -= 1
+                    if counts[old] == 0:
+                        del counts[old]
+                pairs[idx] = [a, c]
+                pairs[other] = [b, d]
+                counts[new1] = counts.get(new1, 0) + 1
+                counts[new2] = counts.get(new2, 0) + 1
+            if not repaired:
+                break
+        if not repaired:
+            continue
+        graph = _empty(n)
+        graph.add_edges_from(tuple(p) for p in pairs)
+        if _bfs_connected(graph):
+            return graph
+    raise RuntimeError(f"failed to sample a connected {degree}-regular graph on {n} nodes")
+
+
+def erdos_renyi_connected(
+    n: int, avg_degree: float, rng: np.random.Generator, max_tries: int = 200
+) -> nx.Graph:
+    """Connected Erdős–Rényi graph with expected average degree ``avg_degree``.
+
+    Resamples until connected, so ``avg_degree`` should be above the
+    ``ln n`` connectivity threshold for large ``n``.
+    """
+    p = min(1.0, avg_degree / max(1, n - 1))
+    rows_idx, cols_idx = np.triu_indices(n, k=1)
+    for _ in range(max_tries):
+        graph = _empty(n)
+        mask = rng.random(rows_idx.shape[0]) < p
+        graph.add_edges_from(
+            zip(rows_idx[mask].tolist(), cols_idx[mask].tolist())
+        )
+        if _bfs_connected(graph):
+            return graph
+    raise RuntimeError(f"failed to sample a connected G({n}, {p}) graph")
+
+
+def erdos_renyi_giant(
+    n: int, avg_degree: float, rng: np.random.Generator
+) -> nx.Graph:
+    """Largest connected component of ``G(n, avg_degree/(n-1))``,
+    relabelled to ``0 .. k-1``.
+
+    Useful for sparse regimes (``avg_degree`` below the ``ln n``
+    connectivity threshold but above 1) where a connected sample is
+    unlikely but the giant component is a natural sparse workload.
+    """
+    p = min(1.0, avg_degree / max(1, n - 1))
+    rows_idx, cols_idx = np.triu_indices(n, k=1)
+    mask = rng.random(rows_idx.shape[0]) < p
+    graph = _empty(n)
+    graph.add_edges_from(zip(rows_idx[mask].tolist(), cols_idx[mask].tolist()))
+    seen = np.zeros(n, dtype=bool)
+    best: list[int] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        comp = [start]
+        seen[start] = True
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    comp.append(u)
+                    stack.append(u)
+        if len(comp) > len(best):
+            best = comp
+    mapping = {v: i for i, v in enumerate(sorted(best))}
+    out = _empty(len(best))
+    out.add_edges_from(
+        (mapping[a], mapping[b]) for a, b in graph.edges if a in mapping and b in mapping
+    )
+    return out
+
+
+def barbell(clique_size: int, path_len: int = 0) -> nx.Graph:
+    """Two cliques of size ``clique_size`` joined by a path of ``path_len``
+    interior nodes — conductance ``Θ(1/clique_size²)`` at the bridge.
+    """
+    n = 2 * clique_size + path_len
+    graph = _empty(n)
+    graph.add_edges_from(
+        (i, j) for i in range(clique_size) for j in range(i + 1, clique_size)
+    )
+    offset = clique_size + path_len
+    graph.add_edges_from(
+        (offset + i, offset + j)
+        for i in range(clique_size)
+        for j in range(i + 1, clique_size)
+    )
+    chain = [clique_size - 1] + list(range(clique_size, clique_size + path_len)) + [offset]
+    graph.add_edges_from(zip(chain, chain[1:]))
+    return graph
+
+
+def lollipop(clique_size: int, path_len: int) -> nx.Graph:
+    """A clique with a path tail — classic slow-mixing example."""
+    n = clique_size + path_len
+    graph = _empty(n)
+    graph.add_edges_from(
+        (i, j) for i in range(clique_size) for j in range(i + 1, clique_size)
+    )
+    chain = [clique_size - 1] + list(range(clique_size, n))
+    graph.add_edges_from(zip(chain, chain[1:]))
+    return graph
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> nx.Graph:
+    """``num_cliques`` cliques arranged in a ring, adjacent cliques joined
+    by a single edge.  Minimum cut 2, conductance ``Θ(1/(num_cliques ·
+    clique_size))``.
+    """
+    n = num_cliques * clique_size
+    graph = _empty(n)
+    for c in range(num_cliques):
+        base = c * clique_size
+        graph.add_edges_from(
+            (base + i, base + j)
+            for i in range(clique_size)
+            for j in range(i + 1, clique_size)
+        )
+        nxt = ((c + 1) % num_cliques) * clique_size
+        graph.add_edge(base + clique_size - 1, nxt)
+    return graph
+
+
+def two_cliques_bridge(clique_size: int) -> nx.Graph:
+    """Two cliques joined by a single bridge edge (minimum cut 1)."""
+    return barbell(clique_size, path_len=0)
+
+
+def component_mixture(
+    component_specs: list[nx.Graph],
+) -> tuple[nx.Graph, list[list[int]]]:
+    """Disjoint union of the given graphs, relabelled to ``0 .. n-1``.
+
+    Returns the combined graph and, for each input component, the list of
+    node ids it occupies in the combined graph.  Used by the connected
+    components experiments (Theorem 1.2), which need ground-truth
+    membership.
+    """
+    graph = nx.Graph()
+    memberships: list[list[int]] = []
+    offset = 0
+    for comp in component_specs:
+        mapping = {v: v + offset for v in comp.nodes}
+        graph.add_nodes_from(mapping.values())
+        graph.add_edges_from((mapping[a], mapping[b]) for a, b in comp.edges)
+        memberships.append(sorted(mapping.values()))
+        offset += comp.number_of_nodes()
+    return graph, memberships
+
+
+def random_orientation(graph: nx.Graph, rng: np.random.Generator) -> nx.DiGraph:
+    """Orient each undirected edge uniformly at random.
+
+    The paper's input is a *directed* knowledge graph that is only weakly
+    connected; orienting an undirected workload produces exactly that.  The
+    algorithms begin by bidirecting the graph (each node introduces itself
+    to its out-neighbours), so tests use this to exercise that first step.
+    """
+    directed = nx.DiGraph()
+    directed.add_nodes_from(graph.nodes)
+    for a, b in graph.edges:
+        if rng.random() < 0.5:
+            directed.add_edge(a, b)
+        else:
+            directed.add_edge(b, a)
+    return directed
+
+
+def _bfs_connected(graph: nx.Graph) -> bool:
+    n = graph.number_of_nodes()
+    if n == 0:
+        return True
+    seen = {0}
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return len(seen) == n
+
+
+def _square_side(n: int) -> int:
+    return max(2, int(math.isqrt(n)))
+
+
+#: Named workload registry used by the experiment harness and benchmarks.
+#: Each entry maps a workload name to ``fn(n, rng) -> nx.Graph``.
+WORKLOADS = {
+    "line": lambda n, rng: line_graph(n),
+    "cycle": lambda n, rng: cycle_graph(n),
+    "binary_tree": lambda n, rng: binary_tree(n),
+    "random_tree": lambda n, rng: random_tree(n, rng),
+    "grid": lambda n, rng: grid_2d(_square_side(n), _square_side(n)),
+    "torus": lambda n, rng: torus_2d(_square_side(n), _square_side(n)),
+    "barbell": lambda n, rng: barbell(max(3, n // 2)),
+    "lollipop": lambda n, rng: lollipop(max(3, n // 2), max(1, n - max(3, n // 2))),
+    "ring_of_cliques": lambda n, rng: ring_of_cliques(max(3, n // 8), 8),
+    "random_regular_3": lambda n, rng: random_regular(n + (n % 2), 3, rng),
+    "caterpillar": lambda n, rng: caterpillar(n),
+    "double_star": lambda n, rng: double_star(n),
+}
+
+
+def make_workload(name: str, n: int, rng: np.random.Generator | None = None) -> nx.Graph:
+    """Instantiate a named workload with approximately ``n`` nodes.
+
+    Some workloads (grids, ring-of-cliques, …) round ``n`` to the nearest
+    feasible size; callers should read ``graph.number_of_nodes()`` rather
+    than assuming ``n`` was hit exactly.
+    """
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return WORKLOADS[name](n, rng)

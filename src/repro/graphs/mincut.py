@@ -1,0 +1,109 @@
+"""Global minimum edge cut via Stoer–Wagner (from scratch).
+
+Benign graphs (Definition 2.1) must keep a ``Λ``-sized minimum cut through
+every evolution — this is the property that lets Karger's cut-counting bound
+(Lemma 3.8) turn per-set Chernoff bounds into a w.h.p. statement over all
+``2^n`` subsets.  The experiment suite verifies the invariant directly on
+small and medium graphs with the deterministic Stoer–Wagner algorithm
+implemented here (weights encode edge multiplicities of the port graph).
+
+Reference: M. Stoer and F. Wagner, *A simple min-cut algorithm*, J. ACM 44
+(1997).  ``O(n³)`` with the simple array-based maximum-adjacency search,
+fine for the ``n ≤ ~700`` graphs we check exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stoer_wagner_min_cut", "min_cut_of_portgraph"]
+
+
+def stoer_wagner_min_cut(weights: np.ndarray) -> tuple[float, list[int]]:
+    """Minimum weighted cut of an undirected graph.
+
+    Parameters
+    ----------
+    weights:
+        Symmetric ``(n, n)`` non-negative weight matrix; ``weights[u, v]``
+        is the total capacity between ``u`` and ``v`` (parallel edges are
+        summed; the diagonal is ignored).
+
+    Returns
+    -------
+    (cut_value, partition):
+        The minimum cut weight and one side of an optimal partition (as a
+        sorted list of original node ids).
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square/symmetric or has fewer than 2 nodes.
+    """
+    weights = np.array(weights, dtype=np.float64, copy=True)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError("weights must be a square matrix")
+    n = weights.shape[0]
+    if n < 2:
+        raise ValueError("min cut needs at least 2 nodes")
+    if not np.allclose(weights, weights.T):
+        raise ValueError("weights must be symmetric")
+    np.fill_diagonal(weights, 0.0)
+
+    # merged[v] = list of original nodes contracted into supernode v.
+    merged: list[list[int]] = [[v] for v in range(n)]
+    active = list(range(n))
+    best_value = float("inf")
+    best_side: list[int] = []
+
+    while len(active) > 1:
+        # Maximum adjacency (maximum weight) search.
+        start = active[0]
+        in_a = {start}
+        w = {v: weights[start, v] for v in active if v != start}
+        order = [start]
+        while len(in_a) < len(active):
+            nxt = max(w, key=lambda v: (w[v], -v))
+            order.append(nxt)
+            in_a.add(nxt)
+            cut_of_the_phase = w.pop(nxt)
+            for v in w:
+                w[v] += weights[nxt, v]
+        s, t = order[-2], order[-1]
+        if cut_of_the_phase < best_value:
+            best_value = float(cut_of_the_phase)
+            best_side = sorted(merged[t])
+        # Contract t into s.
+        weights[s, :] += weights[t, :]
+        weights[:, s] += weights[:, t]
+        weights[s, s] = 0.0
+        weights[t, :] = 0.0
+        weights[:, t] = 0.0
+        merged[s] = merged[s] + merged[t]
+        active.remove(t)
+    return best_value, best_side
+
+
+def min_cut_of_portgraph(port_graph) -> int:
+    """Minimum cut of a :class:`PortGraph`, counting parallel edges.
+
+    Self-loops never cross a cut and are ignored.  Returns the integer cut
+    size (all multiplicities are integral).
+
+    Raises
+    ------
+    ValueError
+        If the port graph is disconnected (infinite/zero cut ambiguity) —
+        callers check connectivity first.
+    """
+    n = port_graph.n
+    weights = np.zeros((n, n), dtype=np.float64)
+    rows = np.repeat(np.arange(n), port_graph.delta)
+    cols = port_graph.ports.ravel()
+    mask = rows != cols
+    np.add.at(weights, (rows[mask], cols[mask]), 0.5)
+    np.add.at(weights, (cols[mask], rows[mask]), 0.5)
+    value, _side = stoer_wagner_min_cut(weights)
+    if value <= 0:
+        raise ValueError("port graph is disconnected; min cut is 0")
+    return int(round(value))

@@ -1,0 +1,52 @@
+"""Sparse-table range min/max queries over static arrays.
+
+The Tarjan–Vishkin biconnectivity algorithm needs, for every node ``v``,
+the minimum (``low``) and maximum (``high``) of a per-node value over the
+preorder interval of ``v``'s subtree.  In the hybrid model these are the
+"subtree aggregates" of [19, Remark 8] / Lemma 4.12, computed over Euler
+tour segments with pointer-jumping shortcuts in ``O(log n)`` rounds; the
+sparse table is the sequential realisation of exactly those ``2^k``-span
+shortcut aggregates (table row ``k`` = the weights of the ``2^k``
+shortcut edges), so building it mirrors the distributed structure.
+
+``O(n log n)`` preprocessing, ``O(1)`` per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseTable"]
+
+
+class SparseTable:
+    """Idempotent range queries (min or max) on a fixed array."""
+
+    def __init__(self, values, op: str = "min") -> None:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("values must be one-dimensional")
+        if op not in ("min", "max"):
+            raise ValueError("op must be 'min' or 'max'")
+        self.op = op
+        self._fn = np.minimum if op == "min" else np.maximum
+        n = values.shape[0]
+        self._n = n
+        levels = max(1, int(np.floor(np.log2(n))) + 1) if n else 1
+        self._table = [values.copy()]
+        for k in range(1, levels):
+            span = 1 << k
+            prev = self._table[-1]
+            if n - span + 1 <= 0:
+                break
+            cur = self._fn(prev[: n - span + 1], prev[span // 2 : n - span // 2 + 1])
+            self._table.append(cur)
+
+    def query(self, lo: int, hi: int):
+        """Aggregate of ``values[lo : hi]`` (half-open, non-empty)."""
+        if not 0 <= lo < hi <= self._n:
+            raise IndexError(f"invalid range [{lo}, {hi}) for n={self._n}")
+        span = hi - lo
+        k = span.bit_length() - 1
+        row = self._table[k]
+        return self._fn(row[lo], row[hi - (1 << k)])

@@ -1,0 +1,56 @@
+"""Disjoint-set forest (union–find) with path compression and union by rank.
+
+Used as the ground-truth component oracle in tests and as the in-memory
+realisation of "connected components of the helper graph ``G''``" inside
+the Tarjan–Vishkin biconnectivity algorithm (Theorem 1.4) when the full
+distributed components machinery is not being exercised.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest over elements ``0 .. n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._count = n
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def groups(self) -> dict[int, list[int]]:
+        """All sets, keyed by representative, members sorted."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out

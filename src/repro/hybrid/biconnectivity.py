@@ -1,0 +1,264 @@
+"""Biconnected components via Tarjan–Vishkin (Theorem 1.4).
+
+The parallel biconnectivity algorithm of Tarjan and Vishkin [53], adapted
+to the hybrid model in §4.4 of the paper.  Given a connected graph ``G``:
+
+1. **Spanning tree** ``T`` (Theorem 1.3, or a BFS tree for the fast
+   path), rooted, with preorder labels ``l(v)`` and subtree sizes
+   ``nd(v)`` from the Euler tour (Step 1–2);
+2. **Subtree aggregates** ``low(v)/high(v)``: the min/max preorder label
+   over ``v``'s descendants *and their non-tree neighbours* — segment
+   min/max over the preorder interval, computed with the ``2^k``-span
+   shortcut aggregates of Lemma 4.12 (realised by
+   :class:`repro.graphs.rmq.SparseTable`);
+3. **Helper graph** ``G''`` on the tree edges (each non-root node ``v``
+   stands for its parent edge), with Tarjan–Vishkin's rules:
+
+   - *Rule 1*: non-tree edge ``{v, w}``, neither endpoint an ancestor of
+     the other → join the parent edges of ``v`` and ``w``;
+   - *Rule 2*: tree edge ``(w, v)`` (``v = parent(w)``, not the root):
+     if ``low(w) < l(v)`` or ``high(w) ≥ l(v) + nd(v)``, join the parent
+     edges of ``v`` and ``w``;
+
+4. **Connected components of** ``G''`` → biconnected component of every
+   tree edge (Theorem 1.2's machinery in the paper; a union-find realises
+   the same partition here — the distributed variant is exercised
+   end-to-end by the integration tests through
+   :func:`repro.hybrid.components.connected_components_hybrid`);
+5. *Rule 3*: non-tree edge ``{v, w}`` with ``l(v) < l(w)`` joins the
+   component of ``w``'s parent edge.
+
+Cut vertices are the nodes whose incident edges span ≥ 2 biconnected
+components; bridges are the components containing a single edge.  Both
+are validated against networkx in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bfs import build_bfs_forest
+from repro.core.child_sibling import RootedTree
+from repro.core.euler import preorder_and_sizes
+from repro.graphs.analysis import adjacency_sets, is_connected
+from repro.graphs.rmq import SparseTable
+from repro.graphs.unionfind import UnionFind
+from repro.net.hybrid import HybridLedger
+
+__all__ = ["BiconnectivityResult", "biconnected_components_hybrid", "tarjan_vishkin_rules"]
+
+
+@dataclass
+class BiconnectivityResult:
+    """Biconnectivity structure of a connected graph.
+
+    Attributes
+    ----------
+    edge_component:
+        ``{(u, v) sorted tuple → component id}`` for every edge of ``G``.
+    components:
+        ``component id → sorted list of edges``.
+    cut_vertices:
+        Articulation points.
+    bridges:
+        Bridge edges (single-edge biconnected components).
+    is_biconnected:
+        True iff the whole graph forms one biconnected component.
+    labels / nd / low / high:
+        The per-node Tarjan–Vishkin quantities (preorder label, subtree
+        size, subtree-min, subtree-max) — exposed for the experiments.
+    """
+
+    edge_component: dict[tuple[int, int], int]
+    components: dict[int, list[tuple[int, int]]]
+    cut_vertices: set[int]
+    bridges: set[tuple[int, int]]
+    is_biconnected: bool
+    labels: np.ndarray
+    nd: np.ndarray
+    low: np.ndarray
+    high: np.ndarray
+    tree: RootedTree
+    ledger: HybridLedger = field(default_factory=HybridLedger)
+
+
+def _subtree_aggregates(
+    tree: RootedTree,
+    labels: np.ndarray,
+    nd: np.ndarray,
+    adj: list[set[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """``low``/``high`` of Tarjan–Vishkin Step 2.
+
+    ``low(v) = min { l(u) : u ∈ D(v) ∪ N_nontree(D(v)) }`` and dually for
+    ``high``.  Per-node base values combine the node's own label with its
+    non-tree neighbours' labels; subtree aggregation is a range query
+    over the preorder interval ``[l(v), l(v) + nd(v))``.
+    """
+    n = tree.n
+    parent = tree.parent
+    base_low = labels.astype(np.int64).copy()
+    base_high = labels.astype(np.int64).copy()
+    for v in range(n):
+        for u in adj[v]:
+            if parent[v] != u and parent[u] != v:  # non-tree edge
+                if labels[u] < base_low[v]:
+                    base_low[v] = labels[u]
+                if labels[u] > base_high[v]:
+                    base_high[v] = labels[u]
+
+    # Order base values by preorder rank; subtree of v = ranks
+    # [l(v)-1, l(v)-1+nd(v)).
+    by_rank_low = np.empty(n, dtype=np.int64)
+    by_rank_high = np.empty(n, dtype=np.int64)
+    by_rank_low[labels - 1] = base_low
+    by_rank_high[labels - 1] = base_high
+    table_low = SparseTable(by_rank_low, op="min")
+    table_high = SparseTable(by_rank_high, op="max")
+
+    low = np.empty(n, dtype=np.int64)
+    high = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        lo = int(labels[v]) - 1
+        hi = lo + int(nd[v])
+        low[v] = table_low.query(lo, hi)
+        high[v] = table_high.query(lo, hi)
+    return low, high
+
+
+def tarjan_vishkin_rules(
+    tree: RootedTree,
+    labels: np.ndarray,
+    nd: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    adj: list[set[int]],
+) -> list[tuple[int, int]]:
+    """Edges of the helper graph ``G''`` from rules 1 and 2.
+
+    ``G''``'s nodes are the non-root nodes of ``T`` (each standing for its
+    parent edge); the returned pairs ``(x, y)`` join the parent edges of
+    ``x`` and ``y``.  Exposed separately so experiment E14 can check the
+    rules against Figure 1 of the paper.
+    """
+    parent = tree.parent
+
+    def is_ancestor(a: int, d: int) -> bool:
+        return labels[a] <= labels[d] < labels[a] + nd[a]
+
+    edges: list[tuple[int, int]] = []
+    n = tree.n
+    for v in range(n):
+        for w in adj[v]:
+            if v >= w or parent[v] == w or parent[w] == v:
+                continue
+            # Rule 1: non-tree edge between unrelated subtrees.
+            if not is_ancestor(v, w) and not is_ancestor(w, v):
+                edges.append((v, w))
+    for w in range(n):
+        v = int(parent[w])
+        if v == w:  # w is the root: no parent edge
+            continue
+        if v == tree.root:  # v has no parent edge to join with
+            continue
+        # Rule 2: w's subtree escapes v's subtree via a non-tree edge.
+        if low[w] < labels[v] or high[w] >= labels[v] + nd[v]:
+            edges.append((v, w))
+    return edges
+
+
+def biconnected_components_hybrid(
+    graph,
+    rng: np.random.Generator | None = None,
+    tree: RootedTree | None = None,
+    tree_source: str = "walk",
+) -> BiconnectivityResult:
+    """Theorem 1.4: biconnected components, cut vertices, and bridges.
+
+    Parameters
+    ----------
+    graph:
+        Connected input graph.
+    tree:
+        Optional precomputed spanning tree (must span ``graph``).
+    tree_source:
+        ``"walk"`` uses the full Theorem 1.3 machinery (spanning tree by
+        unwinding random walks); ``"bfs"`` uses a plain BFS tree (fast
+        path for large sweeps — Step 1 is interchangeable).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    adj = adjacency_sets(graph)
+    n = len(adj)
+    if not is_connected(adj):
+        raise ValueError("biconnectivity requires a connected graph")
+    ledger = HybridLedger()
+
+    if tree is None:
+        if tree_source == "walk":
+            from repro.hybrid.spanning_tree import spanning_tree_hybrid
+
+            st = spanning_tree_hybrid(graph, rng=rng)
+            ledger.merge(st.ledger, prefix="spanning_tree/")
+            tree = RootedTree(root=st.root, parent=st.parent.copy())
+        elif tree_source == "bfs":
+            bfs = build_bfs_forest(adj)
+            ledger.charge("bfs_tree", local_rounds=bfs.rounds)
+            tree = RootedTree(root=bfs.roots[0], parent=bfs.parent.copy())
+        else:
+            raise ValueError("tree_source must be 'walk' or 'bfs'")
+
+    labels, nd, rank_rounds = preorder_and_sizes(tree)
+    ledger.charge("euler_labels", global_rounds=rank_rounds)
+    low, high = _subtree_aggregates(tree, labels, nd, adj)
+    ledger.charge("subtree_aggregates", global_rounds=rank_rounds)
+
+    # G'' on tree edges: non-root node v stands for edge {v, parent(v)}.
+    uf = UnionFind(n)
+    for x, y in tarjan_vishkin_rules(tree, labels, nd, low, high, adj):
+        uf.union(x, y)
+    ledger.charge("helper_graph_components", global_rounds=rank_rounds)
+
+    parent = tree.parent
+    edge_component: dict[tuple[int, int], int] = {}
+    for w in range(n):
+        v = int(parent[w])
+        if v != w:
+            edge_component[(min(v, w), max(v, w))] = uf.find(w)
+    # Rule 3: attach non-tree edges to the deeper endpoint's parent edge.
+    for v in range(n):
+        for w in adj[v]:
+            if v >= w or parent[v] == w or parent[w] == v:
+                continue
+            deeper = v if labels[v] > labels[w] else w
+            edge_component[(v, w)] = uf.find(deeper)
+
+    components: dict[int, list[tuple[int, int]]] = {}
+    for edge, comp in edge_component.items():
+        components.setdefault(comp, []).append(edge)
+    for comp in components.values():
+        comp.sort()
+
+    incident: dict[int, set[int]] = {v: set() for v in range(n)}
+    for (a, b), comp in edge_component.items():
+        incident[a].add(comp)
+        incident[b].add(comp)
+    cut_vertices = {v for v, comps in incident.items() if len(comps) >= 2}
+    bridges = {
+        edges[0] for edges in components.values() if len(edges) == 1
+    }
+    return BiconnectivityResult(
+        edge_component=edge_component,
+        components=components,
+        cut_vertices=cut_vertices,
+        bridges=bridges,
+        is_biconnected=len(components) <= 1,
+        labels=labels,
+        nd=nd,
+        low=low,
+        high=high,
+        tree=tree,
+        ledger=ledger,
+    )

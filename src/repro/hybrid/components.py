@@ -1,0 +1,180 @@
+"""Connected components with well-formed trees (Theorem 1.2).
+
+Pipeline (§4.2): for an arbitrary-degree, possibly disconnected input
+graph ``G``,
+
+1. build the Elkin–Neiman spanner ``S(G)`` (outdegree ``O(log n)``,
+   component-preserving) — ``O(log m)`` CONGEST rounds;
+2. reduce to the bounded-degree graph ``H`` by edge delegation — 2
+   rounds;
+3. run the hybrid ``CreateExpander`` of Theorem 4.1 on ``H`` (walks stay
+   within components, so every component becomes its own expander) —
+   ``O(log m + log log n)`` rounds;
+4. flood minimum ids and build a BFS tree per component, then transform
+   each into a well-formed tree.
+
+The component *label* of a node is the minimum node id of its component
+(what the flooding elects as root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bfs import BFSForest, build_bfs_forest
+from repro.core.child_sibling import RootedTree
+from repro.core.euler import WellFormedTree, build_well_formed_from_tree
+from repro.graphs.analysis import adjacency_sets
+from repro.hybrid.degree_reduction import ReducedGraph, reduce_degree
+from repro.hybrid.overlay import (
+    HybridOverlayParams,
+    HybridOverlayResult,
+    build_hybrid_overlay,
+)
+from repro.hybrid.spanner import SpannerResult, build_spanner
+from repro.net.hybrid import HybridLedger
+
+__all__ = ["ComponentForest", "ComponentsResult", "well_formed_forest", "connected_components_hybrid"]
+
+
+@dataclass
+class ComponentForest:
+    """Per-component well-formed trees assembled into global arrays.
+
+    ``parent[v]`` is ``v``'s parent in its component's well-formed tree
+    (roots point to themselves); ``root_of[v]`` identifies the component.
+    """
+
+    parent: np.ndarray
+    root_of: np.ndarray
+    trees: dict[int, WellFormedTree]
+    rounds: int
+
+    def max_depth(self) -> int:
+        return max((t.depth() for t in self.trees.values()), default=0)
+
+    def max_degree(self) -> int:
+        return max((t.max_degree() for t in self.trees.values()), default=0)
+
+
+@dataclass
+class ComponentsResult:
+    """Everything produced by the Theorem 1.2 pipeline."""
+
+    labels: np.ndarray
+    forest: ComponentForest
+    bfs: BFSForest
+    spanner: SpannerResult
+    reduced: ReducedGraph
+    overlay: HybridOverlayResult
+    ledger: HybridLedger = field(default_factory=HybridLedger)
+
+    def components(self) -> dict[int, list[int]]:
+        """Component membership keyed by label (minimum id)."""
+        groups: dict[int, list[int]] = {}
+        for v, label in enumerate(self.labels.tolist()):
+            groups.setdefault(label, []).append(v)
+        return groups
+
+
+def well_formed_forest(bfs: BFSForest) -> ComponentForest:
+    """Transform every BFS tree of a forest into a well-formed tree.
+
+    Each component is relabelled to a compact index space, rebalanced via
+    the child–sibling + Euler tour pipeline, and written back into global
+    parent arrays.  Rounds are the maximum over components (they run in
+    parallel).
+    """
+    n = bfs.parent.shape[0]
+    parent = np.arange(n, dtype=np.int64)
+    trees: dict[int, WellFormedTree] = {}
+    rounds = 0
+
+    members: dict[int, list[int]] = {}
+    for v, root in enumerate(bfs.root_of.tolist()):
+        members.setdefault(root, []).append(v)
+
+    for root, nodes in members.items():
+        nodes = sorted(nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+        local_parent = np.array(
+            [index[int(bfs.parent[v])] for v in nodes], dtype=np.int64
+        )
+        local_tree = RootedTree(root=index[root], parent=local_parent)
+        wft = build_well_formed_from_tree(local_tree)
+        trees[root] = wft
+        rounds = max(rounds, wft.rounds)
+        local = wft.tree.parent
+        for v in nodes:
+            parent[v] = nodes[int(local[index[v]])]
+
+    return ComponentForest(
+        parent=parent,
+        root_of=bfs.root_of.copy(),
+        trees=trees,
+        rounds=rounds,
+    )
+
+
+def connected_components_hybrid(
+    graph,
+    rng: np.random.Generator | None = None,
+    m_bound: int | None = None,
+    overlay_params: HybridOverlayParams | None = None,
+    record_traces: bool = False,
+) -> ComponentsResult:
+    """Theorem 1.2: well-formed trees on every connected component.
+
+    Parameters
+    ----------
+    graph:
+        Arbitrary-degree input (networkx graph or adjacency sets);
+        directions, if any, are ignored.
+    m_bound:
+        Known upper bound on component sizes — drives the spanner
+        broadcast length and the number of evolutions, realising the
+        ``O(log m + log log n)`` refinement.
+    record_traces:
+        Propagated to the overlay builder (Theorem 1.3 needs it).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    adj = adjacency_sets(graph)
+    ledger = HybridLedger()
+
+    spanner = build_spanner(graph, rng=rng, component_bound=m_bound)
+    ledger.charge("spanner_broadcast", local_rounds=spanner.rounds)
+
+    reduced = reduce_degree(spanner)
+    ledger.charge("degree_reduction", local_rounds=reduced.rounds)
+
+    overlay = build_hybrid_overlay(
+        reduced.adj,
+        rng=rng,
+        params=overlay_params,
+        record_traces=record_traces,
+        m_bound=m_bound,
+    )
+    ledger.merge(overlay.ledger, prefix="overlay/")
+
+    bfs = build_bfs_forest(overlay.final_graph)
+    ledger.charge("min_id_flood_and_bfs", global_rounds=bfs.rounds)
+
+    forest = well_formed_forest(bfs)
+    ledger.charge("well_forming", global_rounds=forest.rounds)
+
+    # Sanity: the overlay may only merge knowledge *within* components of
+    # the input — labels must coincide with the input components.
+    labels = bfs.root_of
+    del adj  # labels are authoritative; tests compare against ground truth
+    return ComponentsResult(
+        labels=labels,
+        forest=forest,
+        bfs=bfs,
+        spanner=spanner,
+        reduced=reduced,
+        overlay=overlay,
+        ledger=ledger,
+    )

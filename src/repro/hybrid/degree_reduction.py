@@ -1,0 +1,107 @@
+"""Degree reduction by edge delegation (§4.2, Step 2).
+
+The spanner ``S(G)`` has ``O(log n)`` *out*degree but may still contain
+nodes of high *in*degree.  Each node ``v`` therefore delegates its
+incoming edges away: with in-neighbours ``w₁ < w₂ < … < w_k`` (id order),
+``v`` keeps only the edge ``{v, w₁}`` and introduces ``w_{i-1} ↔ w_i`` for
+every ``i > 1`` — a chain through its former in-neighbours, conceptually
+the child–sibling trick of [4, 27] applied to arbitrary graphs.
+
+The resulting graph ``H`` has degree ``O(log n)`` (one remaining incoming
+edge plus at most two chain edges per outgoing spanner edge) and preserves
+component structure.  Every chain edge remembers its *delegation centre*
+``v``: the edge ``{w_{i-1}, w_i}`` is not an edge of ``G``, but the path
+``w_{i-1} → v → w_i`` is — which is how the spanning-tree algorithm of
+Theorem 1.3 maps ``H``-edges back to ``G``-edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hybrid.spanner import SpannerResult
+
+__all__ = ["ReducedGraph", "reduce_degree"]
+
+
+@dataclass
+class ReducedGraph:
+    """The bounded-degree graph ``H`` with provenance.
+
+    Attributes
+    ----------
+    adj:
+        Undirected adjacency of ``H``.
+    delegation:
+        ``frozenset({a, b}) → centre``: the node through which a chain
+        edge must be expanded to obtain ``G``-edges; edges that exist in
+        ``S(G)`` (hence in ``G``) map to ``None``.
+    rounds:
+        CONGEST rounds consumed (2: learn incoming edges, delegate).
+    """
+
+    adj: list[set[int]]
+    delegation: dict[frozenset, int | None]
+    rounds: int
+
+    @property
+    def n(self) -> int:
+        return len(self.adj)
+
+    def max_degree(self) -> int:
+        return max((len(a) for a in self.adj), default=0)
+
+    def expand_edge(self, a: int, b: int) -> list[tuple[int, int]]:
+        """Oriented ``G``-edge path realising the ``H``-edge ``a → b``.
+
+        Returns ``[(a, b)]`` for a genuine spanner edge, or
+        ``[(a, centre), (centre, b)]`` for a delegated chain edge.
+        """
+        key = frozenset((a, b))
+        centre = self.delegation.get(key)
+        if centre is None:
+            return [(a, b)]
+        return [(a, centre), (centre, b)]
+
+
+def reduce_degree(spanner: SpannerResult) -> ReducedGraph:
+    """Apply the delegation step to a spanner.
+
+    Every directed spanner edge ``(w, v)`` is consumed by the delegation
+    at ``v``: it either survives as ``{w₁, v}`` (the smallest-id
+    in-neighbour keeps its edge) or is replaced by a chain edge between
+    consecutive in-neighbours.  Components are preserved: the chain plus
+    the kept edge connect exactly the set ``{v} ∪ N_in(v)``, which the
+    original star also connected.
+    """
+    n = len(spanner.out_edges)
+    incoming: list[list[int]] = [[] for _ in range(n)]
+    for w, targets in enumerate(spanner.out_edges):
+        for v in targets:
+            if v != w:
+                incoming[v].append(w)
+
+    adj: list[set[int]] = [set() for _ in range(n)]
+    delegation: dict[frozenset, int | None] = {}
+
+    def add_edge(a: int, b: int, centre: int | None) -> None:
+        adj[a].add(b)
+        adj[b].add(a)
+        key = frozenset((a, b))
+        # A genuine spanner edge always wins over a delegated realisation
+        # of the same pair (expanding through a centre is never needed if
+        # the edge exists in G itself).
+        if centre is None:
+            delegation[key] = None
+        elif key not in delegation:
+            delegation[key] = centre
+
+    for v in range(n):
+        in_nb = sorted(set(incoming[v]))
+        if not in_nb:
+            continue
+        add_edge(v, in_nb[0], None)
+        for prev, cur in zip(in_nb, in_nb[1:]):
+            add_edge(prev, cur, v)
+
+    return ReducedGraph(adj=adj, delegation=delegation, rounds=2)

@@ -1,0 +1,285 @@
+"""Maximal independent set via shattering (Theorem 1.5).
+
+The paper's MIS algorithm runs in ``O(log d + log log n)`` hybrid rounds:
+
+1. **Shattering** (§4.5 Step 1): run Ghaffari's weak-MIS algorithm [22]
+   for ``O(log d)`` CONGEST rounds.  Each node maintains a *desire level*
+   ``p_t(v)`` (start ``1/2``): it marks itself with probability
+   ``p_t(v)``, joins the MIS if no undecided neighbour is simultaneously
+   marked, and halves/doubles its desire level according to the
+   *effective degree* ``Σ_{u ∈ N(v)} p_t(u)``.  Afterwards the undecided
+   nodes form small isolated components w.h.p.
+2. **Per-component overlays** (Step 2): well-formed trees on every
+   undecided component via Theorem 1.2 — ``O(log m + log log n)`` rounds
+   for components of size ``m``.
+3. **Parallel Métivier executions** (Step 3): ``Θ(log n)`` independent
+   executions of the single-bit MIS algorithm of Métivier et al. [44]
+   run concurrently on each component (one random bit per edge per round
+   each); every execution reports its finish round to the component root
+   through the tree, the root broadcasts the index of the earliest
+   finisher, and all nodes adopt that execution's answer.  At least one
+   execution finishes within ``O(log m)`` rounds w.h.p. (median runtime
+   plus Markov + independent repetition).
+
+The module also exposes the two classical building blocks —
+:func:`ghaffari_stage` and :func:`metivier_mis` — as standalone MIS
+solvers used for baselines and differential tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.analysis import adjacency_sets, connected_components
+from repro.net.hybrid import HybridLedger
+
+__all__ = [
+    "GhaffariResult",
+    "MetivierResult",
+    "MISResult",
+    "ghaffari_stage",
+    "metivier_mis",
+    "mis_hybrid",
+    "verify_mis",
+]
+
+UNDECIDED, IN_MIS, DOMINATED = 0, 1, 2
+
+
+@dataclass
+class GhaffariResult:
+    """Outcome of the shattering stage."""
+
+    state: np.ndarray  # UNDECIDED / IN_MIS / DOMINATED per node
+    rounds: int
+
+    def undecided(self) -> list[int]:
+        return [v for v, s in enumerate(self.state.tolist()) if s == UNDECIDED]
+
+
+def ghaffari_stage(
+    adj: list[set[int]],
+    num_rounds: int,
+    rng: np.random.Generator,
+) -> GhaffariResult:
+    """Run Ghaffari's desire-level MIS dynamics for ``num_rounds`` rounds.
+
+    Implements the algorithm of [22]: ``p_0(v) = 1/2``;
+    ``p_{t+1}(v) = p_t(v)/2`` if the effective degree ``Σ p_t(u)`` over
+    undecided neighbours is ``≥ 2``, else ``min(2 p_t(v), 1/2)``.  A
+    marked node with no simultaneously marked undecided neighbour joins
+    the MIS; its neighbours become dominated.
+    """
+    n = len(adj)
+    neighbors = [np.fromiter(a, dtype=np.int64) if a else np.empty(0, np.int64) for a in adj]
+    p = np.full(n, 0.5)
+    state = np.full(n, UNDECIDED, dtype=np.int8)
+
+    for _ in range(num_rounds):
+        undecided = state == UNDECIDED
+        if not undecided.any():
+            break
+        marked = undecided & (rng.random(n) < p)
+        joined: list[int] = []
+        for v in np.nonzero(marked)[0].tolist():
+            nb = neighbors[v]
+            if nb.size and marked[nb].any():
+                continue
+            joined.append(v)
+        for v in joined:
+            state[v] = IN_MIS
+            nb = neighbors[v]
+            if nb.size:
+                dominated = nb[state[nb] == UNDECIDED]
+                state[dominated] = DOMINATED
+        undecided = state == UNDECIDED
+        eff = np.zeros(n)
+        for v in np.nonzero(undecided)[0].tolist():
+            nb = neighbors[v]
+            if nb.size:
+                mask = state[nb] == UNDECIDED
+                eff[v] = p[nb[mask]].sum()
+        shrink = undecided & (eff >= 2.0)
+        grow = undecided & (eff < 2.0)
+        p[shrink] /= 2.0
+        p[grow] = np.minimum(2.0 * p[grow], 0.5)
+    return GhaffariResult(state=state, rounds=num_rounds)
+
+
+@dataclass
+class MetivierResult:
+    """One Métivier et al. execution on a node subset."""
+
+    in_mis: set[int]
+    rounds: int
+
+
+def metivier_mis(
+    adj: list[set[int]],
+    nodes: list[int],
+    rng: np.random.Generator,
+    max_rounds: int = 10_000,
+) -> MetivierResult:
+    """The single-bit randomised MIS of Métivier et al. [44] on the
+    subgraph induced by ``nodes``.
+
+    Each round every undecided node draws a random rank; local minima
+    join the MIS and eliminate their neighbours.  Expected ``O(log k)``
+    rounds on ``k`` nodes (half the edges disappear per round in
+    expectation).
+    """
+    node_set = set(nodes)
+    undecided = set(nodes)
+    in_mis: set[int] = set()
+    rounds = 0
+    while undecided:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("Metivier execution failed to terminate")
+        rank = {v: rng.random() for v in undecided}
+        joiners = [
+            v
+            for v in undecided
+            if all(
+                rank[v] < rank[u]
+                for u in adj[v]
+                if u in undecided and u in node_set
+            )
+        ]
+        for v in joiners:
+            in_mis.add(v)
+        eliminated = set(joiners)
+        for v in joiners:
+            eliminated.update(u for u in adj[v] if u in undecided)
+        undecided -= eliminated
+    return MetivierResult(in_mis=in_mis, rounds=rounds)
+
+
+@dataclass
+class MISResult:
+    """Full Theorem 1.5 outcome."""
+
+    in_mis: set[int]
+    shattering_rounds: int
+    component_sizes: list[int]
+    winner_rounds: dict[int, int]  # component label -> winning execution's rounds
+    num_executions: int
+    ledger: HybridLedger = field(default_factory=HybridLedger)
+
+
+def mis_hybrid(
+    graph,
+    rng: np.random.Generator | None = None,
+    shatter_rounds: int | None = None,
+    num_executions: int | None = None,
+    build_overlays: bool = False,
+) -> MISResult:
+    """Theorem 1.5: MIS in ``O(log d + log log n)`` hybrid rounds.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (any degree; treated as undirected).
+    shatter_rounds:
+        Ghaffari rounds; defaults to ``4·⌈log₂(d + 2)⌉ + 4`` — the
+        calibrated ``O(log d)``.
+    num_executions:
+        Parallel Métivier executions per component; defaults to
+        ``⌈log₂ n⌉ + 1`` (the paper's ``Θ(log n)``).
+    build_overlays:
+        Also run the Theorem 1.2 machinery on the undecided components
+        (exercises the real overlay code path and charges its rounds;
+        off by default because the aggregation cost is the tree height,
+        which is already known to be ``O(log m + log log n)``).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    adj = adjacency_sets(graph)
+    n = len(adj)
+    if n == 0:
+        return MISResult(set(), 0, [], {}, 0)
+    d = max((len(a) for a in adj), default=0)
+    if shatter_rounds is None:
+        shatter_rounds = 4 * math.ceil(math.log2(d + 2)) + 4
+    if num_executions is None:
+        num_executions = max(1, math.ceil(math.log2(max(2, n)))) + 1
+    ledger = HybridLedger()
+
+    shatter = ghaffari_stage(adj, shatter_rounds, rng)
+    ledger.charge("ghaffari_shattering", local_rounds=shatter.rounds)
+    in_mis = {v for v, s in enumerate(shatter.state.tolist()) if s == IN_MIS}
+
+    undecided = shatter.undecided()
+    undecided_set = set(undecided)
+    sub_adj: list[set[int]] = [set() for _ in range(n)]
+    for v in undecided:
+        sub_adj[v] = {u for u in adj[v] if u in undecided_set}
+    # connected_components runs over all n nodes; decided nodes appear as
+    # empty singletons and are filtered out here.
+    comps = [c for c in connected_components(sub_adj) if c and c[0] in undecided_set]
+    component_sizes = sorted((len(c) for c in comps), reverse=True)
+
+    if build_overlays and undecided:
+        from repro.hybrid.components import connected_components_hybrid
+
+        mapping = {v: i for i, v in enumerate(sorted(undecided))}
+        induced: list[set[int]] = [set() for _ in range(len(mapping))]
+        for v in undecided:
+            for u in sub_adj[v]:
+                induced[mapping[v]].add(mapping[u])
+        m_bound = max(component_sizes) if component_sizes else 2
+        comp_result = connected_components_hybrid(
+            induced, rng=rng, m_bound=max(2, m_bound)
+        )
+        ledger.merge(comp_result.ledger, prefix="component_overlays/")
+        tree_height = comp_result.forest.max_depth()
+    else:
+        biggest = max(component_sizes, default=1)
+        tree_height = max(1, math.ceil(math.log2(biggest + 1)))
+        ledger.charge(
+            "component_overlays(analytic)",
+            global_rounds=max(1, math.ceil(math.log2(max(2, biggest))))
+            + math.ceil(math.log2(math.log2(max(4, n)))),
+            global_capacity=int(math.log2(max(2, n))) ** 3,
+        )
+
+    winner_rounds: dict[int, int] = {}
+    slowest_winner = 0
+    for comp in comps:
+        best: MetivierResult | None = None
+        for _exec in range(num_executions):
+            result = metivier_mis(adj, comp, rng)
+            if best is None or result.rounds < best.rounds:
+                best = result
+        winner_rounds[comp[0]] = best.rounds
+        slowest_winner = max(slowest_winner, best.rounds)
+        in_mis |= best.in_mis
+    ledger.charge(
+        "parallel_metivier",
+        local_rounds=slowest_winner,
+        global_rounds=2 * tree_height,
+        global_capacity=num_executions,
+    )
+
+    return MISResult(
+        in_mis=in_mis,
+        shattering_rounds=shatter.rounds,
+        component_sizes=component_sizes,
+        winner_rounds=winner_rounds,
+        num_executions=num_executions,
+        ledger=ledger,
+    )
+
+
+def verify_mis(adj: list[set[int]], candidate: set[int]) -> bool:
+    """True iff ``candidate`` is independent and maximal in ``adj``."""
+    for v in candidate:
+        if any(u in candidate for u in adj[v]):
+            return False
+    for v in range(len(adj)):
+        if v not in candidate and not any(u in candidate for u in adj[v]):
+            return False
+    return True

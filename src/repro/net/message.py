@@ -1,0 +1,40 @@
+"""Message objects exchanged over the simulated network.
+
+A message models the paper's ``O(log n)``-bit packets: it carries a small
+``kind`` tag and a payload that, by convention, holds at most a constant
+number of node identifiers plus ``O(1)`` integers.  The simulator does not
+enforce payload size (Python objects would make that meaningless); the
+protocol implementations keep payloads to the constant-identifier budget
+and the tests inspect representative payloads for compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One network packet.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Node identifiers.  The simulator only delivers a message if the
+        sender legitimately produced it in the current round; knowledge
+        semantics (``u`` must know ``id(v)``) are the protocol's
+        responsibility, as in the paper.
+    kind:
+        Small string tag multiplexing protocol phases (e.g. ``"token"``,
+        ``"accept"``).
+    payload:
+        Constant-size content; by convention a tuple of ints.
+    """
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Any = None

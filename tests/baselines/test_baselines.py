@@ -1,0 +1,92 @@
+"""Baseline algorithm tests: correctness and scaling shape."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import flooding, pointer_jumping, supernode_merge
+from repro.graphs import generators as G
+
+
+class TestSupernodeMerge:
+    @pytest.mark.parametrize("n", [16, 64, 129])
+    def test_produces_spanning_tree(self, n):
+        g = G.line_graph(n)
+        res = supernode_merge(g)
+        t = nx.Graph()
+        t.add_nodes_from(range(n))
+        t.add_edges_from(res.tree_edges)
+        assert nx.is_tree(t)
+
+    def test_tree_edges_subset_of_input(self, rng):
+        g = G.erdos_renyi_connected(60, 6.0, rng)
+        res = supernode_merge(g)
+        edges = {(min(a, b), max(a, b)) for a, b in g.edges}
+        assert res.tree_edges <= edges
+
+    def test_phases_logarithmic(self):
+        res = supernode_merge(G.line_graph(256))
+        assert res.num_phases <= math.ceil(math.log2(256)) + 2
+
+    def test_rounds_grow_like_log_squared(self):
+        r64 = supernode_merge(G.line_graph(64)).total_rounds
+        r1024 = supernode_merge(G.line_graph(1024)).total_rounds
+        ratio = (r1024 / math.log2(1024) ** 2) / (r64 / math.log2(64) ** 2)
+        assert 0.5 < ratio < 2.0  # rounds / log^2 n is stable
+
+    def test_disconnected_rejected(self):
+        mix, _ = G.component_mixture([G.line_graph(4), G.line_graph(4)])
+        with pytest.raises(ValueError):
+            supernode_merge(mix)
+
+    def test_phase_supernode_counts_decrease(self):
+        res = supernode_merge(G.cycle_graph(64))
+        for phase in res.phases:
+            assert phase.supernodes_after < phase.supernodes_before
+
+
+class TestPointerJumping:
+    def test_rounds_log_of_diameter(self):
+        res = pointer_jumping(G.line_graph(64))
+        assert res.rounds == math.ceil(math.log2(63))
+
+    def test_message_blowup_is_polynomial(self):
+        res = pointer_jumping(G.line_graph(128))
+        # Peak messages approach n^2 (every node knows almost everyone and
+        # introduces all pairs) — the Θ(n) identifiers per node the paper
+        # cites, squared by pairwise introduction.
+        assert res.peak_messages > 128 * 128 / 2
+
+    def test_terminates_on_clique(self):
+        res = pointer_jumping(G.complete_graph(8))
+        assert res.rounds == 0
+
+    def test_disconnected_rejected(self):
+        mix, _ = G.component_mixture([G.line_graph(3), G.line_graph(3)])
+        with pytest.raises(ValueError):
+            pointer_jumping(mix)
+
+
+class TestFlooding:
+    def test_rounds_equal_diameter(self):
+        res = flooding(G.line_graph(40))
+        assert res.rounds == 39
+
+    def test_total_messages_quadratic_on_line(self):
+        res = flooding(G.line_graph(50))
+        # Each of n identifiers crosses each of n-1 edges once per
+        # direction at most: Theta(n^2).
+        assert res.total_messages >= 50 * 49 / 2
+        assert res.total_messages <= 4 * 50 * 50
+
+    def test_star_floods_in_two_rounds(self):
+        res = flooding(G.star_graph(30))
+        assert res.rounds == 2
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        res = flooding(nx.Graph())
+        assert res.rounds == 0

@@ -1,0 +1,22 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic default generator (seed 0)."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def make_rng():
+    """Factory for seeded generators: ``make_rng(seed)``."""
+
+    def factory(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return factory

@@ -1,0 +1,72 @@
+"""Minimum-id flooding and distributed BFS tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfs import build_bfs_forest, distributed_bfs, flood_min_ids
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets, bfs_distances
+
+
+class TestFlooding:
+    def test_single_component_elects_zero(self):
+        root_of, rounds = flood_min_ids(G.cycle_graph(10))
+        assert (root_of == 0).all()
+        # Information travels one hop per round: ecc(0) = 5 rounds + 1
+        # quiescence round.
+        assert rounds == 6
+
+    def test_per_component_minimum(self):
+        mix, members = G.component_mixture([G.line_graph(4), G.cycle_graph(5)])
+        root_of, _ = flood_min_ids(mix)
+        assert root_of[:4].tolist() == [0] * 4
+        assert root_of[4:].tolist() == [4] * 5
+
+    def test_isolated_nodes(self):
+        root_of, rounds = flood_min_ids([set(), set()])
+        assert root_of.tolist() == [0, 1]
+        assert rounds == 1
+
+
+class TestDistributedBFS:
+    def test_parent_depths_match_distances(self):
+        adj = adjacency_sets(G.grid_2d(5, 5))
+        parent, depth, rounds = distributed_bfs(adj, [0])
+        dist = bfs_distances(adj, 0)
+        assert (depth == dist).all()
+        assert rounds == int(dist.max()) + 1
+
+    def test_smallest_id_tie_break(self):
+        adj = adjacency_sets(G.cycle_graph(4))
+        parent, _, _ = distributed_bfs(adj, [0])
+        # Node 2 is reached simultaneously from 1 and 3: picks 1.
+        assert parent[2] == 1
+
+    def test_multi_root(self):
+        mix, _ = G.component_mixture([G.line_graph(3), G.line_graph(3)])
+        adj = adjacency_sets(mix)
+        parent, depth, _ = distributed_bfs(adj, [0, 3])
+        assert parent[0] == 0 and parent[3] == 3
+        assert depth[2] == 2 and depth[5] == 2
+
+
+class TestForest:
+    def test_connected_graph_single_tree(self):
+        forest = build_bfs_forest(G.cycle_graph(12))
+        assert forest.roots == [0]
+        assert forest.tree_depth() == 6
+        children = forest.children_lists()
+        assert sum(len(c) for c in children) == 11
+
+    def test_forest_on_mixture(self):
+        mix, members = G.component_mixture(
+            [G.line_graph(6), G.star_graph(5), G.cycle_graph(7)]
+        )
+        forest = build_bfs_forest(mix)
+        assert forest.roots == [0, 6, 11]
+        for v in range(mix.number_of_nodes()):
+            assert forest.root_of[v] in forest.roots
+
+    def test_rounds_positive(self):
+        forest = build_bfs_forest(G.line_graph(9))
+        assert forest.rounds >= 9  # flooding alone needs ecc(0)=8 rounds

@@ -1,0 +1,156 @@
+"""Euler tour, list ranking, preorder, and heap-tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.child_sibling import RootedTree
+from repro.core.euler import (
+    build_well_formed_from_tree,
+    euler_tour,
+    heap_tree,
+    list_rank,
+    preorder_and_sizes,
+)
+from repro.graphs.analysis import adjacency_sets, bfs_tree
+from repro.graphs.generators import random_tree
+
+
+def path_tree(n: int) -> RootedTree:
+    parent = np.maximum(np.arange(n) - 1, 0)
+    return RootedTree(root=0, parent=parent)
+
+
+def sample_tree(seed: int, n: int = 40) -> RootedTree:
+    g = random_tree(n, np.random.default_rng(seed))
+    parent = bfs_tree(adjacency_sets(g), 0)
+    return RootedTree(root=0, parent=parent)
+
+
+class TestEulerTour:
+    def test_length_is_2n_minus_2(self):
+        tree = sample_tree(0)
+        tour = euler_tour(tree)
+        assert tour.length == 2 * (tree.n - 1)
+
+    def test_each_tree_edge_twice(self):
+        tree = sample_tree(1)
+        tour = euler_tour(tree)
+        from collections import Counter
+
+        counts = Counter(
+            (min(u, v), max(u, v)) for u, v in tour.edges
+        )
+        assert all(c == 2 for c in counts.values())
+        assert len(counts) == tree.n - 1
+
+    def test_tour_is_contiguous(self):
+        tree = sample_tree(2)
+        tour = euler_tour(tree)
+        for (a, b), (c, d) in zip(tour.edges, tour.edges[1:]):
+            assert b == c
+        assert tour.edges[0][0] == tree.root
+        assert tour.edges[-1][1] == tree.root
+
+    def test_entry_exit_indices(self):
+        tree = path_tree(4)
+        tour = euler_tour(tree)
+        # Path tour: (0,1)(1,2)(2,3)(3,2)(2,1)(1,0).
+        assert tour.first_entry[1] == 0
+        assert tour.exit_entry[1] == 5
+        assert tour.first_entry[3] == 2
+        assert tour.exit_entry[3] == 3
+
+    def test_single_node(self):
+        tour = euler_tour(RootedTree(root=0, parent=np.array([0])))
+        assert tour.length == 0
+
+
+class TestListRank:
+    def test_chain_ranks(self):
+        succ = np.array([1, 2, 3, -1])
+        dist, rounds = list_rank(succ)
+        assert dist.tolist() == [3, 2, 1, 0]
+        assert rounds == 2  # ceil(log2 3) = 2 doubling rounds
+
+    def test_rounds_logarithmic(self):
+        m = 1000
+        succ = np.arange(1, m + 1)
+        succ[-1] = -1
+        _, rounds = list_rank(succ)
+        assert rounds == 10  # ceil(log2(999))
+
+    def test_empty_and_singleton(self):
+        dist, rounds = list_rank(np.array([-1]))
+        assert dist.tolist() == [0]
+        assert rounds == 0
+
+
+class TestPreorder:
+    def test_path_preorder(self):
+        labels, sizes, _ = preorder_and_sizes(path_tree(5))
+        assert labels.tolist() == [1, 2, 3, 4, 5]
+        assert sizes.tolist() == [5, 4, 3, 2, 1]
+
+    def test_matches_recursive_dfs(self):
+        tree = sample_tree(3)
+        labels, sizes, _ = preorder_and_sizes(tree)
+        children = tree.children_lists()
+
+        expected_labels = {}
+        expected_sizes = {}
+        counter = [1]
+
+        def dfs(v):
+            expected_labels[v] = counter[0]
+            counter[0] += 1
+            total = 1
+            for c in children[v]:
+                total += dfs(c)
+            expected_sizes[v] = total
+            return total
+
+        dfs(tree.root)
+        for v in range(tree.n):
+            assert labels[v] == expected_labels[v]
+            assert sizes[v] == expected_sizes[v]
+
+    def test_labels_are_a_permutation(self):
+        tree = sample_tree(4)
+        labels, _, _ = preorder_and_sizes(tree)
+        assert sorted(labels.tolist()) == list(range(1, tree.n + 1))
+
+
+class TestHeapTree:
+    def test_depth_and_degree(self):
+        order = list(range(20))
+        tree = heap_tree(order)
+        assert tree.max_degree() <= 3
+        assert int(tree.depth_array().max()) == 4  # floor(log2 19)
+
+    def test_respects_order(self):
+        order = [3, 1, 4, 0, 2]
+        tree = heap_tree(order)
+        assert tree.root == 3
+        assert tree.parent[1] == 3 and tree.parent[4] == 3
+        assert tree.parent[0] == 1 and tree.parent[2] == 1
+
+
+class TestWellFormed:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_well_formed_properties(self, seed):
+        tree = sample_tree(seed, n=70)
+        wft = build_well_formed_from_tree(tree)
+        assert wft.max_degree() <= 3
+        assert wft.depth() <= int(np.ceil(np.log2(70))) + 1
+        wft.tree.validate()
+
+    def test_rounds_are_logarithmic(self):
+        tree = sample_tree(1, n=100)
+        wft = build_well_formed_from_tree(tree)
+        assert wft.rounds <= 4 * int(np.ceil(np.log2(100))) + 2
+
+    def test_single_node(self):
+        tree = RootedTree(root=0, parent=np.array([0]))
+        wft = build_well_formed_from_tree(tree)
+        assert wft.depth() == 0
+        assert wft.rounds == 0

@@ -1,0 +1,153 @@
+"""CreateExpander evolution tests (Lemma 3.1 invariants, growth, traces)."""
+
+import numpy as np
+import pytest
+
+from repro.core.benign import check_benign, make_benign
+from repro.core.expander import ExpanderBuilder, _accept_tokens, create_expander
+from repro.core.params import ExpanderParams
+from repro.graphs import generators as G
+from repro.graphs.analysis import is_connected
+from repro.graphs.spectral import spectral_gap
+
+
+def build(graph, seed=0, **kwargs):
+    n = graph.number_of_nodes()
+    params = ExpanderParams.recommended(n)
+    base, _ = make_benign(graph, params)
+    return ExpanderBuilder(base, params, np.random.default_rng(seed), **kwargs), params
+
+
+class TestAcceptance:
+    def test_cap_enforced_per_endpoint(self, rng):
+        endpoints = np.array([0, 0, 0, 0, 1, 1, 2])
+        accepted = _accept_tokens(endpoints, cap=2, rng=rng)
+        kept = endpoints[accepted]
+        assert (np.bincount(kept, minlength=3) <= 2).all()
+        assert np.bincount(kept, minlength=3)[2] == 1
+
+    def test_all_kept_when_under_cap(self, rng):
+        endpoints = np.array([4, 5, 6])
+        accepted = _accept_tokens(endpoints, cap=3, rng=rng)
+        assert accepted.tolist() == [0, 1, 2]
+
+    def test_empty(self, rng):
+        assert _accept_tokens(np.empty(0, dtype=np.int64), 3, rng).size == 0
+
+    def test_selection_is_uniform_ish(self):
+        # Over many trials each of 4 tokens to one endpoint should be kept
+        # about cap/4 of the time.
+        counts = np.zeros(4)
+        endpoints = np.zeros(4, dtype=np.int64)
+        for seed in range(600):
+            acc = _accept_tokens(endpoints, cap=2, rng=np.random.default_rng(seed))
+            counts[acc] += 1
+        assert np.abs(counts / 600 - 0.5).max() < 0.1
+
+
+class TestEvolutionInvariants:
+    def test_every_evolution_graph_benign(self):
+        builder, params = build(G.line_graph(48), seed=1)
+        for _ in range(6):
+            builder.step()
+            report = check_benign(builder.current, params)
+            assert report.is_regular
+            assert report.is_lazy
+            assert report.has_lambda_cut
+
+    def test_connectivity_preserved(self):
+        builder, params = build(G.cycle_graph(64), seed=2)
+        builder.run(num_evolutions=params.num_evolutions)
+        assert is_connected(builder.current.neighbor_sets())
+
+    def test_symmetry_preserved(self):
+        builder, _ = build(G.line_graph(32), seed=3)
+        builder.step()
+        assert builder.current.is_symmetric()
+
+    def test_degree_bound_never_exceeded(self):
+        builder, params = build(G.line_graph(40), seed=4)
+        for _ in range(4):
+            builder.step()
+            assert builder.current.delta == params.delta
+
+    def test_deterministic_given_seed(self):
+        b1, _ = build(G.line_graph(32), seed=7)
+        b2, _ = build(G.line_graph(32), seed=7)
+        b1.step()
+        b2.step()
+        assert np.array_equal(b1.current.ports, b2.current.ports)
+
+    def test_stats_accounting(self):
+        builder, params = build(G.line_graph(32), seed=5)
+        stats = builder.step()
+        n = 32
+        assert stats.tokens_started == n * params.tokens_per_node
+        assert stats.tokens_accepted + stats.tokens_dropped == stats.tokens_started
+        assert stats.max_token_load <= params.accept_cap  # Lemma 3.2
+
+
+class TestConductanceGrowth:
+    def test_gap_grows_from_line(self):
+        builder, params = build(G.line_graph(64), seed=0)
+        g0 = spectral_gap(builder.current)
+        builder.run(num_evolutions=params.num_evolutions)
+        gL = spectral_gap(builder.current)
+        assert gL > 50 * g0
+        assert gL > 0.05
+
+    def test_gap_reaches_plateau_on_cycle(self):
+        builder, params = build(G.cycle_graph(128), seed=1)
+        builder.run(track_gap=True)
+        gaps = [s.spectral_gap for s in builder.history]
+        assert gaps[-1] > 0.08
+        # Growth until plateau: final gap within 2x of the max seen.
+        assert gaps[-1] > max(gaps) / 2
+
+    def test_adaptive_stop(self):
+        builder, params = build(G.cycle_graph(64), seed=2)
+        builder.run(gap_threshold=0.05)
+        assert builder.history[-1].spectral_gap >= 0.05
+        assert len(builder.history) <= params.num_evolutions * 4
+
+
+class TestTraceRecording:
+    def test_registry_has_traces(self):
+        builder, params = build(G.line_graph(24), seed=3)
+        builder.record_traces = True
+        builder.step()
+        registry = builder.level_registries[0]
+        assert len(registry) > 0
+        for edge in registry[:10]:
+            assert edge.node_trace is not None
+            assert edge.node_trace[0] == edge.origin
+            assert edge.node_trace[-1] == edge.endpoint
+            assert edge.edge_trace.shape == (params.ell,)
+
+    def test_port_ids_index_registry(self):
+        builder, _ = build(G.line_graph(24), seed=4)
+        builder.step()
+        graph = builder.current
+        registry = builder.level_registries[0]
+        for v in range(graph.n):
+            for k in range(graph.delta):
+                eid = int(graph.port_edge_ids[v, k])
+                partner = int(graph.ports[v, k])
+                if eid >= 0:
+                    entry = registry[eid]
+                    assert {entry.origin, entry.endpoint} == {v, partner}
+
+
+class TestCreateExpanderFacade:
+    def test_defaults_infer_params(self):
+        result = create_expander(G.line_graph(32), rng=np.random.default_rng(0))
+        assert result.params.delta % 8 == 0
+        assert result.num_evolutions == result.params.num_evolutions
+        assert result.rounds == result.num_evolutions * (result.params.ell + 1) + 2
+
+    def test_mismatched_delta_rejected(self):
+        params = ExpanderParams(delta=32, lam=2, ell=4, num_evolutions=2)
+        base, _ = make_benign(G.line_graph(10), params)
+        other = ExpanderParams(delta=40, lam=2, ell=4, num_evolutions=2)
+        with pytest.raises(ValueError):
+            ExpanderBuilder(base, other, np.random.default_rng(0))

@@ -1,0 +1,75 @@
+"""ExpanderParams validation and derived-quantity tests."""
+
+import pytest
+
+from repro.core.params import ExpanderParams
+
+
+class TestValidation:
+    def test_delta_must_be_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(delta=20, lam=2, ell=4, num_evolutions=3)
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(delta=0, lam=2, ell=4, num_evolutions=3)
+
+    def test_lam_positive(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(delta=32, lam=0, ell=4, num_evolutions=3)
+
+    def test_ell_positive(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(delta=32, lam=2, ell=0, num_evolutions=3)
+
+    def test_negative_evolutions_rejected(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(delta=32, lam=2, ell=4, num_evolutions=-1)
+
+
+class TestDerived:
+    def test_token_and_cap_fractions(self):
+        p = ExpanderParams(delta=64, lam=4, ell=8, num_evolutions=5)
+        assert p.tokens_per_node == 8  # delta / 8
+        assert p.accept_cap == 24  # 3 delta / 8
+
+    def test_maintained_cut_floor(self):
+        p = ExpanderParams(delta=64, lam=9, ell=8, num_evolutions=5)
+        assert p.maintained_cut_floor == 4
+        p = ExpanderParams(delta=64, lam=2, ell=8, num_evolutions=5)
+        assert p.maintained_cut_floor == 2
+
+    def test_max_copy_degree_respects_laziness(self):
+        p = ExpanderParams(delta=64, lam=4, ell=8, num_evolutions=5)
+        # lam * d <= delta/2 must hold for d = max_copy_degree.
+        assert p.lam * p.max_copy_degree() * 2 <= p.delta
+
+
+class TestRecommended:
+    def test_divisibility_and_monotonicity(self):
+        for n in (4, 16, 100, 1000, 10_000):
+            p = ExpanderParams.recommended(n)
+            assert p.delta % 8 == 0
+            assert p.delta >= 32
+            assert p.lam >= 2
+            assert p.num_evolutions > 0
+
+    def test_delta_grows_with_n(self):
+        small = ExpanderParams.recommended(16)
+        large = ExpanderParams.recommended(65536)
+        assert large.delta > small.delta
+        assert large.num_evolutions > small.num_evolutions
+
+    def test_copy_capacity_for_declared_degree(self):
+        p = ExpanderParams.recommended(256, max_degree=4)
+        assert p.lam * 4 <= p.delta // 2
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            ExpanderParams.recommended(1)
+
+    def test_with_evolutions(self):
+        p = ExpanderParams.recommended(64)
+        q = p.with_evolutions(3)
+        assert q.num_evolutions == 3
+        assert q.delta == p.delta

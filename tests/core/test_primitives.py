@@ -1,0 +1,107 @@
+"""Tree primitive tests: aggregation, enumeration, routing, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.child_sibling import RootedTree
+from repro.core.primitives import TreePrimitives
+
+
+def path_tree(n: int) -> RootedTree:
+    return RootedTree(root=0, parent=np.maximum(np.arange(n) - 1, 0))
+
+
+def balanced_tree(n: int) -> RootedTree:
+    parent = np.array([0] + [(v - 1) // 2 for v in range(1, n)])
+    return RootedTree(root=0, parent=parent)
+
+
+class TestAggregation:
+    def test_count_nodes(self):
+        prims = TreePrimitives(balanced_tree(31))
+        res = prims.count_nodes()
+        assert res.value == 31
+        assert res.rounds == prims.height
+
+    def test_sum_aggregate(self):
+        prims = TreePrimitives(path_tree(10))
+        res = prims.aggregate(list(range(10)), lambda a, b: a + b)
+        assert res.value == 45
+
+    def test_max_aggregate(self):
+        prims = TreePrimitives(balanced_tree(15))
+        values = [v * 7 % 13 for v in range(15)]
+        res = prims.aggregate(values, max)
+        assert res.value == max(values)
+
+    def test_wrong_length_rejected(self):
+        prims = TreePrimitives(path_tree(5))
+        with pytest.raises(ValueError):
+            prims.aggregate([1, 2], lambda a, b: a + b)
+
+    def test_rounds_are_height(self):
+        deep = TreePrimitives(path_tree(20))
+        shallow = TreePrimitives(balanced_tree(20))
+        assert deep.count_nodes().rounds == 19
+        assert shallow.count_nodes().rounds == 4
+
+
+class TestEnumeration:
+    def test_ranks_are_permutation(self):
+        prims = TreePrimitives(balanced_tree(20))
+        ranks, rounds = prims.enumerate_nodes()
+        assert sorted(ranks.tolist()) == list(range(20))
+        assert rounds >= 1
+
+    def test_root_gets_rank_zero(self):
+        prims = TreePrimitives(balanced_tree(9))
+        ranks, _ = prims.enumerate_nodes()
+        assert ranks[0] == 0
+
+
+class TestRouting:
+    def test_lca_on_balanced_tree(self):
+        prims = TreePrimitives(balanced_tree(15))
+        assert prims.lca(7, 8) == 3
+        assert prims.lca(7, 14) == 0
+        assert prims.lca(3, 7) == 3
+
+    def test_route_endpoints_and_validity(self):
+        tree = balanced_tree(15)
+        prims = TreePrimitives(tree)
+        path, hops = prims.route(7, 14)
+        assert path[0] == 7 and path[-1] == 14
+        assert hops == len(path) - 1
+        # Consecutive nodes are tree neighbours.
+        for a, b in zip(path, path[1:]):
+            assert tree.parent[a] == b or tree.parent[b] == a
+
+    def test_route_to_self(self):
+        prims = TreePrimitives(path_tree(6))
+        path, hops = prims.route(3, 3)
+        assert path == [3]
+        assert hops == 0
+
+    def test_route_length_bounded_by_height(self):
+        prims = TreePrimitives(balanced_tree(31))
+        for src, dst in [(15, 30), (16, 17), (0, 29)]:
+            _, hops = prims.route(src, dst)
+            assert hops <= 2 * prims.height
+
+
+class TestSampling:
+    def test_sample_covers_all_nodes(self):
+        prims = TreePrimitives(balanced_tree(10))
+        rng = np.random.default_rng(0)
+        seen = {prims.sample_node(rng)[0] for _ in range(300)}
+        assert seen == set(range(10))
+
+    def test_sample_uniform_ish(self):
+        prims = TreePrimitives(path_tree(5))
+        rng = np.random.default_rng(1)
+        counts = np.zeros(5)
+        for _ in range(2000):
+            node, rounds = prims.sample_node(rng)
+            counts[node] += 1
+            assert rounds == prims.height
+        assert (np.abs(counts / 2000 - 0.2) < 0.05).all()

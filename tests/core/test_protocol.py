@@ -1,0 +1,114 @@
+"""Message-level NCC0 engine tests (Theorem 1.1 communication bounds)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import ExpanderParams
+from repro.core.protocol import run_protocol_expander
+from repro.graphs import generators as G
+from repro.graphs.analysis import diameter, is_connected
+from repro.net.network import CapacityPolicy
+
+
+def small_params(n: int, evolutions: int = 6) -> ExpanderParams:
+    p = ExpanderParams.recommended(n, ell=16)
+    return p.with_evolutions(evolutions)
+
+
+class TestProtocolExecution:
+    def test_final_graph_is_benign_shaped(self):
+        params = small_params(48)
+        result = run_protocol_expander(
+            G.line_graph(48), params=params, rng=np.random.default_rng(0)
+        )
+        g = result.final_graph
+        assert g.delta == params.delta
+        assert g.is_lazy()
+        assert g.is_symmetric()
+
+    def test_final_graph_connected(self):
+        result = run_protocol_expander(
+            G.cycle_graph(48), params=small_params(48), rng=np.random.default_rng(1)
+        )
+        assert is_connected(result.final_graph.neighbor_sets())
+
+    def test_round_count_matches_schedule(self):
+        params = small_params(32, evolutions=4)
+        result = run_protocol_expander(
+            G.line_graph(32), params=params, rng=np.random.default_rng(2)
+        )
+        assert result.rounds <= params.num_evolutions * (params.ell + 2) + 1
+
+
+class TestCommunicationBounds:
+    def test_no_drops_at_calibrated_capacity(self):
+        result = run_protocol_expander(
+            G.line_graph(64), params=small_params(64), rng=np.random.default_rng(3)
+        )
+        assert result.metrics.total_drops == 0
+
+    def test_per_round_load_at_most_delta(self):
+        params = small_params(64)
+        result = run_protocol_expander(
+            G.line_graph(64), params=params, rng=np.random.default_rng(4)
+        )
+        assert result.metrics.max_sent_per_round <= params.delta
+        assert result.metrics.max_received_per_round <= params.delta
+
+    def test_total_messages_per_node_polylog(self):
+        # Theorem 1.1: O(log^2 n) messages per node over the whole run.
+        n = 64
+        params = small_params(n)
+        result = run_protocol_expander(
+            G.line_graph(n), params=params, rng=np.random.default_rng(5)
+        )
+        bound = params.delta * (params.ell + 2) * params.num_evolutions
+        assert result.metrics.max_total_sent_by_any_node() <= bound
+
+    def test_tight_capacity_causes_drops_but_no_crash(self):
+        # Starving the network must degrade, not break, the protocol.
+        params = small_params(32, evolutions=3)
+        tight = CapacityPolicy(max_send=4, max_receive=4)
+        result = run_protocol_expander(
+            G.line_graph(32),
+            params=params,
+            rng=np.random.default_rng(6),
+            capacity=tight,
+        )
+        assert result.metrics.total_drops > 0
+        assert result.final_graph.delta == params.delta  # still regular
+
+
+class TestProtocolQuality:
+    def test_overlay_diameter_collapses(self):
+        n = 64
+        params = ExpanderParams.recommended(n).with_evolutions(
+            math.ceil(math.log2(n)) + 2
+        )
+        result = run_protocol_expander(
+            G.line_graph(n), params=params, rng=np.random.default_rng(7)
+        )
+        assert diameter(result.final_graph.neighbor_sets()) <= 2 * math.ceil(
+            math.log2(n)
+        )
+
+    def test_agrees_with_fast_engine_statistically(self):
+        # Both engines run the same random process; their final spectral
+        # gaps on the same input should land in the same regime.
+        from repro.core.expander import create_expander
+        from repro.graphs.spectral import spectral_gap
+
+        n = 48
+        params = small_params(n, evolutions=8)
+        proto = run_protocol_expander(
+            G.cycle_graph(n), params=params, rng=np.random.default_rng(8)
+        )
+        fast = create_expander(
+            G.cycle_graph(n), params=params, rng=np.random.default_rng(8)
+        )
+        gap_p = spectral_gap(proto.final_graph)
+        gap_f = spectral_gap(fast.final_graph)
+        assert gap_p > 0.03 and gap_f > 0.03
+        assert 0.3 < gap_p / gap_f < 3.0

@@ -1,0 +1,101 @@
+"""Structured overlay construction tests (§1.4 corollary)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_well_formed_tree
+from repro.core.topologies import (
+    build_butterfly,
+    build_debruijn,
+    build_hypercube,
+    build_sorted_path,
+    build_sorted_ring,
+)
+from repro.graphs.generators import line_graph
+
+
+BUILDERS = {
+    "sorted_path": build_sorted_path,
+    "sorted_ring": build_sorted_ring,
+    "hypercube": build_hypercube,
+    "butterfly": build_butterfly,
+    "debruijn": build_debruijn,
+}
+
+
+@pytest.fixture(scope="module")
+def wft_tree():
+    result = build_well_formed_tree(line_graph(100), rng=np.random.default_rng(3))
+    return result.tree
+
+
+class TestAllTopologies:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_connected(self, name, wft_tree):
+        topo = BUILDERS[name](wft_tree)
+        assert topo.is_connected()
+        assert topo.n == 100
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_rank_assignment_is_permutation(self, name, wft_tree):
+        topo = BUILDERS[name](wft_tree)
+        assert sorted(topo.ranks.tolist()) == list(range(100))
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_construction_rounds_logarithmic(self, name, wft_tree):
+        topo = BUILDERS[name](wft_tree)
+        assert topo.rounds <= 6 * math.ceil(math.log2(100))
+
+
+class TestSortedStructures:
+    def test_path_shape(self, wft_tree):
+        topo = build_sorted_path(wft_tree)
+        assert topo.max_degree() == 2
+        degree_one = [v for v in range(topo.n) if len(topo.adj[v]) == 1]
+        assert len(degree_one) == 2  # exactly two endpoints
+
+    def test_ring_shape(self, wft_tree):
+        topo = build_sorted_ring(wft_tree)
+        assert all(len(a) == 2 for a in topo.adj)
+        assert topo.overlay_diameter() == 50
+
+    def test_ring_respects_rank_order(self, wft_tree):
+        topo = build_sorted_ring(wft_tree)
+        node_of = {int(topo.ranks[v]): v for v in range(topo.n)}
+        for r in range(topo.n):
+            assert node_of[(r + 1) % topo.n] in topo.adj[node_of[r]]
+
+
+class TestLowDiameterStructures:
+    def test_hypercube_diameter(self, wft_tree):
+        topo = build_hypercube(wft_tree)
+        assert topo.overlay_diameter() <= math.ceil(math.log2(100)) + 1
+        assert topo.max_degree() <= 2 * math.ceil(math.log2(100))
+
+    def test_butterfly_constant_degree_log_diameter(self, wft_tree):
+        topo = build_butterfly(wft_tree)
+        assert topo.max_degree() <= 10
+        assert topo.overlay_diameter() <= 2 * math.ceil(math.log2(100))
+
+    def test_debruijn_shape(self, wft_tree):
+        topo = build_debruijn(wft_tree)
+        assert topo.max_degree() <= 4
+        assert topo.overlay_diameter() <= math.ceil(math.log2(100)) + 2
+
+    def test_debruijn_shift_edges_present(self, wft_tree):
+        topo = build_debruijn(wft_tree)
+        node_of = {int(topo.ranks[v]): v for v in range(topo.n)}
+        for r in (1, 17, 49):
+            assert node_of[(2 * r) % topo.n] in topo.adj[node_of[r]]
+
+
+class TestSmallTrees:
+    def test_tiny_tree(self):
+        from repro.core.child_sibling import RootedTree
+
+        tree = RootedTree(root=0, parent=np.array([0, 0, 1]))
+        for name, build in BUILDERS.items():
+            topo = build(tree)
+            assert topo.is_connected(), name

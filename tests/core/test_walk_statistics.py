@@ -1,0 +1,118 @@
+"""Statistical validation of the walk engine against theory.
+
+The correctness of the whole reproduction rests on the token walks being
+*bona fide* lazy random walks: the Kwok–Lau growth argument, the
+stitching equivalence, and the congestion bound all assume it.  These
+tests check distributional facts with enough samples that failures mean
+bugs, not noise:
+
+- chi-square-style uniformity of the stationary distribution (regular
+  graphs ⇒ uniform);
+- convergence rate matching the spectral gap (mixing ~ ``(1 − gap)^t``);
+- independence of token coordinates (empirical correlation ≈ 0).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.benign import make_benign
+from repro.core.params import ExpanderParams
+from repro.core.walks import run_token_walks
+from repro.graphs import generators as G
+from repro.graphs.portgraph import PortGraph
+from repro.graphs.spectral import spectral_gap
+
+
+PARAMS = ExpanderParams(delta=32, lam=2, ell=8, num_evolutions=1)
+
+
+class TestStationarity:
+    def test_long_walks_are_uniform_on_regular_graphs(self, rng):
+        n = 8
+        pg, _ = make_benign(G.cycle_graph(n), PARAMS)
+        samples = 40_000
+        # The lazy cycle's spectral gap is ~0.037: 250 steps shrink the
+        # starting bias to (1-gap)^250 ~ 1e-4, below sampling noise.
+        walk = run_token_walks(
+            pg,
+            tokens_per_node=0,
+            length=250,
+            rng=rng,
+            starts=np.zeros(samples, dtype=np.int64),
+        )
+        counts = np.bincount(walk.endpoints, minlength=n)
+        expected = samples / n
+        # Pearson statistic under H0 ~ chi2(n-1); 40k samples make the
+        # 1e-4-level tolerance extremely safe.
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 40  # chi2_{0.9999, 7} ~= 29; generous margin
+
+    def test_uniform_start_stays_uniform(self, rng):
+        pg, _ = make_benign(G.cycle_graph(10), PARAMS)
+        walk = run_token_walks(pg, tokens_per_node=2000, length=3, rng=rng)
+        counts = np.bincount(walk.endpoints, minlength=10)
+        assert np.abs(counts / counts.sum() - 0.1).max() < 0.01
+
+
+class TestMixingRate:
+    def test_distance_to_uniform_decays_like_the_gap(self, rng):
+        n = 12
+        pg, _ = make_benign(G.cycle_graph(n), PARAMS)
+        gap = spectral_gap(pg)
+        samples = 60_000
+        distances = []
+        for t in (4, 16):
+            walk = run_token_walks(
+                pg,
+                tokens_per_node=0,
+                length=t,
+                rng=rng,
+                starts=np.zeros(samples, dtype=np.int64),
+            )
+            dist = np.bincount(walk.endpoints, minlength=n) / samples
+            distances.append(0.5 * np.abs(dist - 1 / n).sum())
+        # TV distance contracts at least as fast as (1 - gap)^t predicts
+        # over the additional 12 steps (up to sampling noise).
+        predicted_ratio = (1 - gap) ** 12
+        assert distances[1] <= distances[0] * predicted_ratio * 1.5 + 0.01
+
+
+class TestIndependence:
+    def test_tokens_are_uncorrelated(self, rng):
+        pg, _ = make_benign(G.cycle_graph(16), PARAMS)
+        runs = 400
+        a_ends = np.empty(runs)
+        b_ends = np.empty(runs)
+        for k in range(runs):
+            walk = run_token_walks(
+                pg,
+                tokens_per_node=0,
+                length=6,
+                rng=rng,
+                starts=np.array([0, 8], dtype=np.int64),
+            )
+            a_ends[k] = walk.endpoints[0]
+            b_ends[k] = walk.endpoints[1]
+        # Displacements of two tokens are independent; empirical
+        # correlation of ~400 pairs should be small.
+        corr = np.corrcoef(a_ends, b_ends)[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_self_loop_probability_matches_port_fraction(self, rng):
+        # One step: P(stay) = self_loops / delta exactly.
+        pg = PortGraph.from_edge_multiset(
+            n=2,
+            delta=8,
+            endpoints_a=np.array([0, 0, 0]),
+            endpoints_b=np.array([1, 1, 1]),
+        )
+        samples = 50_000
+        walk = run_token_walks(
+            pg,
+            tokens_per_node=0,
+            length=1,
+            rng=rng,
+            starts=np.zeros(samples, dtype=np.int64),
+        )
+        stay = (walk.endpoints == 0).mean()
+        assert stay == pytest.approx(5 / 8, abs=0.01)

@@ -1,0 +1,121 @@
+"""Random-walk engine tests: distributions, traces, congestion."""
+
+import numpy as np
+import pytest
+
+from repro.core.benign import make_benign
+from repro.core.params import ExpanderParams
+from repro.core.walks import run_token_walks
+from repro.graphs import generators as G
+from repro.graphs.portgraph import SELF_LOOP, PortGraph
+
+
+PARAMS = ExpanderParams(delta=32, lam=2, ell=8, num_evolutions=1)
+
+
+@pytest.fixture
+def cycle_pg():
+    pg, _ = make_benign(G.cycle_graph(8), PARAMS)
+    return pg
+
+
+class TestBasics:
+    def test_token_counts(self, cycle_pg, rng):
+        res = run_token_walks(cycle_pg, tokens_per_node=3, length=5, rng=rng)
+        assert res.num_tokens == 8 * 3
+        assert res.origins.shape == res.endpoints.shape
+
+    def test_zero_length_walk_stays_home(self, cycle_pg, rng):
+        res = run_token_walks(cycle_pg, tokens_per_node=2, length=0, rng=rng)
+        assert (res.origins == res.endpoints).all()
+
+    def test_explicit_starts(self, cycle_pg, rng):
+        starts = np.array([3, 3, 5])
+        res = run_token_walks(cycle_pg, tokens_per_node=0, length=4, rng=rng, starts=starts)
+        assert res.origins.tolist() == [3, 3, 5]
+
+    def test_negative_length_rejected(self, cycle_pg, rng):
+        with pytest.raises(ValueError):
+            run_token_walks(cycle_pg, tokens_per_node=1, length=-1, rng=rng)
+
+    def test_endpoints_within_walk_distance(self, cycle_pg, rng):
+        # On a cycle, a token cannot travel farther than ell hops.
+        ell = 3
+        res = run_token_walks(cycle_pg, tokens_per_node=10, length=ell, rng=rng)
+        for o, e in zip(res.origins.tolist(), res.endpoints.tolist()):
+            ring_dist = min((o - e) % 8, (e - o) % 8)
+            assert ring_dist <= ell
+
+
+class TestDistribution:
+    def test_single_step_distribution_matches_ports(self, rng):
+        # delta=4 with 1 edge to the right neighbour and 3 self loops:
+        # P(move) = 1/4.
+        pg = PortGraph.from_edge_multiset(
+            n=2, delta=4, endpoints_a=np.array([0]), endpoints_b=np.array([1])
+        )
+        starts = np.zeros(40_000, dtype=np.int64)
+        res = run_token_walks(pg, tokens_per_node=0, length=1, rng=rng, starts=starts)
+        frac_moved = (res.endpoints == 1).mean()
+        assert frac_moved == pytest.approx(0.25, abs=0.01)
+
+    def test_walk_matrix_agreement(self, rng):
+        # Empirical ell-step distribution ~ walk_matrix^ell row.
+        pg, _ = make_benign(G.cycle_graph(6), PARAMS)
+        ell = 4
+        starts = np.zeros(60_000, dtype=np.int64)
+        res = run_token_walks(pg, tokens_per_node=0, length=ell, rng=rng, starts=starts)
+        empirical = np.bincount(res.endpoints, minlength=6) / 60_000
+        expected = np.linalg.matrix_power(pg.walk_matrix(), ell)[0]
+        assert np.abs(empirical - expected).max() < 0.01
+
+
+class TestTraces:
+    def test_traces_require_edge_ids(self, rng):
+        pg = PortGraph(np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            run_token_walks(pg, tokens_per_node=1, length=2, rng=rng, record_traces=True)
+
+    def test_node_trace_consistency(self, cycle_pg, rng):
+        res = run_token_walks(
+            cycle_pg, tokens_per_node=4, length=6, rng=rng, record_traces=True
+        )
+        assert res.node_traces.shape == (32, 7)
+        assert (res.node_traces[:, 0] == res.origins).all()
+        assert (res.node_traces[:, -1] == res.endpoints).all()
+
+    def test_edge_trace_matches_movement(self, cycle_pg, rng):
+        res = run_token_walks(
+            cycle_pg, tokens_per_node=4, length=6, rng=rng, record_traces=True
+        )
+        for k in range(res.num_tokens):
+            for step in range(6):
+                a = res.node_traces[k, step]
+                b = res.node_traces[k, step + 1]
+                eid = res.edge_traces[k, step]
+                if eid == SELF_LOOP:
+                    assert a == b
+                else:
+                    # The edge id must appear on a port of a pointing to b.
+                    ports_a = cycle_pg.ports[a]
+                    ids_a = cycle_pg.port_edge_ids[a]
+                    assert any(
+                        ids_a[i] == eid and ports_a[i] == b
+                        for i in range(cycle_pg.delta)
+                    )
+
+
+class TestCongestion:
+    def test_load_recorded_per_round(self, cycle_pg, rng):
+        res = run_token_walks(cycle_pg, tokens_per_node=4, length=5, rng=rng)
+        assert res.max_load_per_round.shape == (5,)
+        assert (res.max_load_per_round >= 1).all()
+
+    def test_lemma_3_2_congestion_bound(self, rng):
+        # Lemma 3.2: max tokens at any node stays below 3*delta/8 w.h.p.
+        params = ExpanderParams.recommended(64)
+        pg, _ = make_benign(G.cycle_graph(64), params)
+        res = run_token_walks(
+            pg, tokens_per_node=params.tokens_per_node, length=params.ell, rng=rng
+        )
+        assert res.max_load_per_round.max() <= params.accept_cap

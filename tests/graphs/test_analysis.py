@@ -1,0 +1,141 @@
+"""Structural analysis tests: BFS, diameter, components, conductance."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import (
+    adjacency_sets,
+    bfs_distances,
+    bfs_tree,
+    conductance_exact,
+    conductance_of_set,
+    connected_components,
+    degree_stats,
+    diameter,
+    eccentricity,
+    edge_boundary_size,
+    is_connected,
+)
+from repro.graphs.portgraph import PortGraph
+
+
+class TestAdjacency:
+    def test_from_networkx_undirected(self):
+        adj = adjacency_sets(G.line_graph(4))
+        assert adj == [{1}, {0, 2}, {1, 3}, {2}]
+
+    def test_from_digraph_ignores_direction(self, rng):
+        d = G.random_orientation(G.cycle_graph(6), rng)
+        adj = adjacency_sets(d)
+        assert all(len(a) == 2 for a in adj)
+
+    def test_from_portgraph(self):
+        pg = PortGraph.from_edge_multiset(
+            n=3, delta=4, endpoints_a=np.array([0, 1]), endpoints_b=np.array([1, 2])
+        )
+        assert adjacency_sets(pg) == [{1}, {0, 2}, {1}]
+
+    def test_from_raw_lists(self):
+        adj = adjacency_sets([[1], [0]])
+        assert adj == [{1}, {0}]
+
+
+class TestBFS:
+    def test_distances_on_line(self):
+        adj = adjacency_sets(G.line_graph(6))
+        assert bfs_distances(adj, 0).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_marked(self):
+        adj = [set(), set()]
+        assert bfs_distances(adj, 0).tolist() == [0, -1]
+
+    def test_bfs_tree_parents(self):
+        adj = adjacency_sets(G.cycle_graph(5))
+        parent = bfs_tree(adj, 0)
+        assert parent[0] == 0
+        assert parent[1] == 0 and parent[4] == 0
+        assert parent[2] == 1 and parent[3] == 4
+
+    def test_bfs_tree_matches_distances(self, rng):
+        g = G.erdos_renyi_connected(60, 6.0, rng)
+        adj = adjacency_sets(g)
+        parent = bfs_tree(adj, 0)
+        dist = bfs_distances(adj, 0)
+        for v in range(1, 60):
+            assert dist[v] == dist[parent[v]] + 1
+
+
+class TestComponentsAndDiameter:
+    def test_components_of_mixture(self, rng):
+        mix, members = G.component_mixture([G.line_graph(4), G.cycle_graph(3)])
+        comps = connected_components(adjacency_sets(mix))
+        assert sorted(map(tuple, comps)) == sorted(map(tuple, members))
+
+    def test_is_connected(self):
+        assert is_connected(adjacency_sets(G.line_graph(5)))
+        assert not is_connected([{1}, {0}, set()])
+
+    def test_diameter_of_known_graphs(self):
+        assert diameter(adjacency_sets(G.line_graph(7))) == 6
+        assert diameter(adjacency_sets(G.cycle_graph(8))) == 4
+        assert diameter(adjacency_sets(G.complete_graph(5))) == 1
+        assert diameter(adjacency_sets(G.star_graph(9))) == 2
+
+    def test_diameter_heuristic_on_tree_is_exact(self, rng):
+        g = G.random_tree(300, rng)
+        adj = adjacency_sets(g)
+        exact = diameter(adj, exact_threshold=1000)
+        heuristic = diameter(adj, exact_threshold=10)
+        assert heuristic == exact  # double sweep is exact on trees
+
+    def test_diameter_raises_on_disconnected(self):
+        with pytest.raises(ValueError):
+            diameter([{1}, {0}, set()])
+
+    def test_eccentricity(self):
+        adj = adjacency_sets(G.line_graph(5))
+        assert eccentricity(adj, 0) == 4
+        assert eccentricity(adj, 2) == 2
+
+
+class TestConductance:
+    def test_boundary_size(self):
+        adj = adjacency_sets(G.cycle_graph(6))
+        assert edge_boundary_size(adj, {0, 1, 2}) == 2
+
+    def test_conductance_of_set_simple_graph(self):
+        # Cycle of 6, S = {0,1,2}: 2 boundary edges, dmax=2 -> 2/(2*3).
+        phi = conductance_of_set(G.cycle_graph(6), {0, 1, 2})
+        assert phi == pytest.approx(1 / 3)
+
+    def test_conductance_of_set_portgraph_counts_multiplicity(self):
+        pg = PortGraph.from_edge_multiset(
+            n=4,
+            delta=8,
+            endpoints_a=np.array([0, 0, 1, 2]),
+            endpoints_b=np.array([1, 1, 2, 3]),
+        )
+        # S = {0, 1}: boundary = single edge {1,2} -> 1 / (8*2).
+        assert conductance_of_set(pg, {0, 1}) == pytest.approx(1 / 16)
+
+    def test_exact_conductance_cycle(self):
+        # Cycle C8: minimum over sets of size 4 = 2/(2*4) = 0.25.
+        assert conductance_exact(G.cycle_graph(8)) == pytest.approx(0.25)
+
+    def test_exact_conductance_guard(self):
+        with pytest.raises(ValueError):
+            conductance_exact(G.cycle_graph(30))
+
+    def test_conductance_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            conductance_of_set(G.cycle_graph(4), set())
+
+
+class TestDegreeStats:
+    def test_stats(self):
+        stats = degree_stats(adjacency_sets(G.star_graph(5)))
+        assert stats["max"] == 4
+        assert stats["min"] == 1
+        assert stats["mean"] == pytest.approx(8 / 5)

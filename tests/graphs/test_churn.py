@@ -1,0 +1,82 @@
+"""Churn simulation tests (§1.4 robustness machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.churn import churn_report, fail_nodes, survival_curve
+
+
+class TestFailNodes:
+    def test_no_churn_keeps_everything(self, rng):
+        adj, alive = fail_nodes(G.cycle_graph(20), 0.0, rng)
+        assert alive.all()
+        assert all(len(a) == 2 for a in adj)
+
+    def test_total_churn_kills_everything(self, rng):
+        adj, alive = fail_nodes(G.cycle_graph(20), 1.0, rng)
+        assert not alive.any()
+        assert all(len(a) == 0 for a in adj)
+
+    def test_dead_nodes_removed_from_neighbours(self, rng):
+        adj, alive = fail_nodes(G.complete_graph(30), 0.5, rng)
+        for v in range(30):
+            if alive[v]:
+                assert all(alive[u] for u in adj[v])
+            else:
+                assert adj[v] == set()
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            fail_nodes(G.cycle_graph(5), 1.5, rng)
+
+
+class TestReport:
+    def test_connected_survivors(self, rng):
+        adj, alive = fail_nodes(G.complete_graph(40), 0.3, rng)
+        report = churn_report(adj, alive)
+        assert report.stayed_connected
+        assert report.largest_fraction == 1.0
+        assert report.survivors == int(alive.sum())
+
+    def test_shattered_line(self):
+        rng = np.random.default_rng(3)
+        adj, alive = fail_nodes(G.line_graph(200), 0.3, rng)
+        report = churn_report(adj, alive)
+        assert report.components > 10
+        assert report.largest_fraction < 0.5
+
+    def test_empty_survivors(self):
+        alive = np.zeros(4, dtype=bool)
+        report = churn_report([set()] * 4, alive)
+        assert report.largest_fraction == 0.0
+        assert report.components == 0
+
+
+class TestSurvivalCurve:
+    def test_monotone_degradation(self):
+        rng = np.random.default_rng(4)
+        rows = survival_curve(G.cycle_graph(100), [0.05, 0.3], rng, trials=5)
+        assert rows[0]["mean_largest_fraction"] > rows[1]["mean_largest_fraction"]
+
+    def test_overlay_beats_ring(self):
+        # The §1.4 claim in miniature: the expander overlay survives churn
+        # that shatters the ring it was built from.
+        from repro.core.pipeline import build_well_formed_tree
+
+        n = 128
+        ring = G.cycle_graph(n)
+        overlay = build_well_formed_tree(
+            ring, rng=np.random.default_rng(0)
+        ).final_graph()
+        rng = np.random.default_rng(5)
+        ring_rows = survival_curve(ring, [0.2], rng, trials=5)
+        overlay_rows = survival_curve(
+            overlay.neighbor_sets(), [0.2], rng, trials=5
+        )
+        assert overlay_rows[0]["connected_rate"] == 1.0
+        assert ring_rows[0]["connected_rate"] == 0.0
+        assert (
+            overlay_rows[0]["mean_largest_fraction"]
+            > 2 * ring_rows[0]["mean_largest_fraction"]
+        )

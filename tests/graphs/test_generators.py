@@ -1,0 +1,167 @@
+"""Workload generator unit tests: sizes, degrees, connectivity, shapes."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets, is_connected
+
+
+def _connected(graph) -> bool:
+    return is_connected(adjacency_sets(graph))
+
+
+class TestLineAndCycle:
+    def test_line_structure(self):
+        g = G.line_graph(10)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 9
+        degrees = sorted(d for _, d in g.degree)
+        assert degrees == [1, 1] + [2] * 8
+
+    def test_line_is_connected(self):
+        assert _connected(G.line_graph(33))
+
+    def test_cycle_structure(self):
+        g = G.cycle_graph(12)
+        assert g.number_of_edges() == 12
+        assert all(d == 2 for _, d in g.degree)
+
+    def test_cycle_small_degenerates_to_line(self):
+        g = G.cycle_graph(2)
+        assert g.number_of_edges() == 1
+
+    def test_line_two_nodes(self):
+        g = G.line_graph(2)
+        assert list(g.edges) == [(0, 1)]
+
+
+class TestStarsAndTrees:
+    def test_star(self):
+        g = G.star_graph(9)
+        assert g.degree[0] == 8
+        assert all(g.degree[v] == 1 for v in range(1, 9))
+
+    def test_binary_tree_is_tree(self):
+        g = G.binary_tree(31)
+        assert nx.is_tree(g)
+        assert max(d for _, d in g.degree) == 3
+
+    def test_random_tree_is_tree(self, rng):
+        g = G.random_tree(50, rng)
+        assert nx.is_tree(g)
+
+    def test_random_tree_deterministic_with_seed(self):
+        g1 = G.random_tree(40, np.random.default_rng(5))
+        g2 = G.random_tree(40, np.random.default_rng(5))
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_caterpillar_connected_with_exact_n(self):
+        for n in (5, 10, 17):
+            g = G.caterpillar(n)
+            assert g.number_of_nodes() == n
+            assert _connected(g)
+
+    def test_double_star_bridge(self):
+        g = G.double_star(20)
+        assert _connected(g)
+        assert (0, 1) in g.edges
+
+
+class TestGridsAndCubes:
+    def test_grid_size_and_degree(self):
+        g = G.grid_2d(4, 5)
+        assert g.number_of_nodes() == 20
+        assert max(d for _, d in g.degree) == 4
+        assert _connected(g)
+
+    def test_torus_regularity(self):
+        g = G.torus_2d(4, 4)
+        assert all(d == 4 for _, d in g.degree)
+
+    def test_hypercube(self):
+        g = G.hypercube(4)
+        assert g.number_of_nodes() == 16
+        assert all(d == 4 for _, d in g.degree)
+        assert _connected(g)
+
+
+class TestRandomGraphs:
+    def test_random_regular_degrees(self, rng):
+        for n, d in [(20, 3), (40, 6), (64, 8)]:
+            g = G.random_regular(n, d, rng)
+            assert all(deg == d for _, deg in g.degree)
+            assert _connected(g)
+
+    def test_random_regular_rejects_odd_product(self, rng):
+        with pytest.raises(ValueError):
+            G.random_regular(9, 3, rng)
+
+    def test_random_regular_rejects_degree_too_large(self, rng):
+        with pytest.raises(ValueError):
+            G.random_regular(5, 5, rng)
+
+    def test_erdos_renyi_connected(self, rng):
+        g = G.erdos_renyi_connected(100, 8.0, rng)
+        assert g.number_of_nodes() == 100
+        assert _connected(g)
+
+    def test_erdos_renyi_giant_is_connected(self, rng):
+        g = G.erdos_renyi_giant(200, 3.0, rng)
+        assert g.number_of_nodes() > 100  # giant component exists
+        assert _connected(g)
+
+
+class TestCompositeTopologies:
+    def test_barbell(self):
+        g = G.barbell(5, 3)
+        assert g.number_of_nodes() == 13
+        assert _connected(g)
+
+    def test_lollipop(self):
+        g = G.lollipop(6, 4)
+        assert g.number_of_nodes() == 10
+        assert _connected(g)
+
+    def test_ring_of_cliques(self):
+        g = G.ring_of_cliques(4, 5)
+        assert g.number_of_nodes() == 20
+        assert _connected(g)
+
+    def test_component_mixture_membership(self, rng):
+        mix, members = G.component_mixture(
+            [G.line_graph(5), G.cycle_graph(4), G.star_graph(6)]
+        )
+        assert mix.number_of_nodes() == 15
+        assert members[0] == [0, 1, 2, 3, 4]
+        assert members[1] == [5, 6, 7, 8]
+        assert members[2] == [9, 10, 11, 12, 13, 14]
+        # no cross-component edges
+        for a, b in mix.edges:
+            assert any(a in m and b in m for m in members)
+
+
+class TestOrientation:
+    def test_random_orientation_preserves_edge_set(self, rng):
+        g = G.grid_2d(4, 4)
+        d = G.random_orientation(g, rng)
+        und = {(min(a, b), max(a, b)) for a, b in d.edges}
+        assert und == {(min(a, b), max(a, b)) for a, b in g.edges}
+
+    def test_random_orientation_single_direction(self, rng):
+        d = G.random_orientation(G.cycle_graph(10), rng)
+        for a, b in d.edges:
+            assert not d.has_edge(b, a)
+
+
+class TestWorkloadRegistry:
+    @pytest.mark.parametrize("name", sorted(G.WORKLOADS))
+    def test_every_workload_instantiates(self, name, rng):
+        g = G.make_workload(name, 40, rng)
+        assert g.number_of_nodes() >= 10
+        assert _connected(g)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            G.make_workload("nope", 10)

@@ -1,0 +1,102 @@
+"""Stoer–Wagner minimum cut: known answers and networkx differential."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.mincut import min_cut_of_portgraph, stoer_wagner_min_cut
+from repro.graphs.portgraph import PortGraph
+
+
+def weights_of(graph: nx.Graph) -> np.ndarray:
+    n = graph.number_of_nodes()
+    w = np.zeros((n, n))
+    for a, b in graph.edges:
+        w[a, b] += 1
+        w[b, a] += 1
+    return w
+
+
+class TestStoerWagner:
+    def test_bridge_graph(self):
+        value, side = stoer_wagner_min_cut(weights_of(G.two_cliques_bridge(4)))
+        assert value == 1
+        assert len(side) in (4, 4)
+
+    def test_cycle_cut_is_two(self):
+        value, _ = stoer_wagner_min_cut(weights_of(G.cycle_graph(9)))
+        assert value == 2
+
+    def test_complete_graph(self):
+        value, side = stoer_wagner_min_cut(weights_of(G.complete_graph(6)))
+        assert value == 5
+        assert len(side) == 1
+
+    def test_weighted_cut(self):
+        w = np.array(
+            [
+                [0, 3, 0, 0],
+                [3, 0, 1, 0],
+                [0, 1, 0, 3],
+                [0, 0, 3, 0],
+            ],
+            dtype=float,
+        )
+        value, side = stoer_wagner_min_cut(w)
+        assert value == 1
+        assert sorted(side) in ([0, 1], [2, 3])
+
+    def test_partition_is_consistent(self):
+        g = G.barbell(5, 2)
+        w = weights_of(g)
+        value, side = stoer_wagner_min_cut(w)
+        inside = set(side)
+        crossing = sum(
+            1 for a, b in g.edges if (a in inside) != (b in inside)
+        )
+        assert crossing == value
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = G.erdos_renyi_connected(24, 5.0, rng)
+        for a, b in g.edges:
+            g[a][b]["weight"] = 1
+        expected, _ = nx.stoer_wagner(g)
+        value, _ = stoer_wagner_min_cut(weights_of(g))
+        assert value == expected
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(np.zeros(4))
+
+
+class TestPortGraphCut:
+    def test_counts_parallel_edges(self):
+        # Path 0-1-2 where {0,1} has multiplicity 3 and {1,2} has 1.
+        pg = PortGraph.from_edge_multiset(
+            n=3,
+            delta=8,
+            endpoints_a=np.array([0, 0, 0, 1]),
+            endpoints_b=np.array([1, 1, 1, 2]),
+        )
+        assert min_cut_of_portgraph(pg) == 1
+
+    def test_lambda_copies_give_lambda_cut(self):
+        lam = 4
+        ends_a = np.repeat(np.arange(5), lam)
+        ends_b = np.repeat(np.arange(1, 6) % 5, lam)  # cycle, lam copies
+        pg = PortGraph.from_edge_multiset(
+            n=5, delta=24, endpoints_a=ends_a, endpoints_b=ends_b
+        )
+        assert min_cut_of_portgraph(pg) == 2 * lam
+
+    def test_disconnected_raises(self):
+        pg = PortGraph(np.zeros((3, 4), dtype=np.int64) + np.arange(3)[:, None])
+        with pytest.raises(ValueError):
+            min_cut_of_portgraph(pg)

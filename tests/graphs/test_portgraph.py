@@ -1,0 +1,136 @@
+"""PortGraph invariants: construction, symmetry, laziness, matrices."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.portgraph import SELF_LOOP, PortGraph
+
+
+def small_graph() -> PortGraph:
+    """Triangle with delta=4: each node one edge to both others + loops."""
+    return PortGraph.from_edge_multiset(
+        n=3,
+        delta=4,
+        endpoints_a=np.array([0, 1, 2]),
+        endpoints_b=np.array([1, 2, 0]),
+    )
+
+
+class TestConstruction:
+    def test_shape(self):
+        pg = small_graph()
+        assert pg.n == 3
+        assert pg.delta == 4
+
+    def test_padding_with_self_loops(self):
+        pg = small_graph()
+        assert (pg.self_loop_counts() == 2).all()
+
+    def test_real_degree(self):
+        pg = small_graph()
+        assert (pg.real_degree() == 2).all()
+
+    def test_edge_ids_symmetric(self):
+        pg = small_graph()
+        # Edge 0 = {0,1}: exactly one port at 0 and one at 1 carry id 0.
+        for eid, (a, b) in enumerate([(0, 1), (1, 2), (2, 0)]):
+            assert (pg.port_edge_ids[a] == eid).sum() == 1
+            assert (pg.port_edge_ids[b] == eid).sum() == 1
+
+    def test_self_loop_ports_have_sentinel_id(self):
+        pg = small_graph()
+        loops = pg.ports == np.arange(3)[:, None]
+        assert (pg.port_edge_ids[loops] == SELF_LOOP).all()
+
+    def test_overfull_node_raises(self):
+        with pytest.raises(ValueError, match="exceed"):
+            PortGraph.from_edge_multiset(
+                n=2,
+                delta=2,
+                endpoints_a=np.array([0, 0, 0]),
+                endpoints_b=np.array([1, 1, 1]),
+            )
+
+    def test_parallel_edges_kept(self):
+        pg = PortGraph.from_edge_multiset(
+            n=2,
+            delta=8,
+            endpoints_a=np.array([0, 0, 0]),
+            endpoints_b=np.array([1, 1, 1]),
+        )
+        assert (pg.real_degree() == 3).all()
+        assert len(pg.edge_multiset()) == 3
+        assert pg.unique_edges() == {(0, 1)}
+
+    def test_explicit_loop_edge_consumes_two_ports(self):
+        pg = PortGraph.from_edge_multiset(
+            n=2,
+            delta=4,
+            endpoints_a=np.array([0]),
+            endpoints_b=np.array([0]),
+        )
+        # A loop edge {0,0} occupies two ports at node 0 (both "self").
+        assert pg.self_loop_counts()[0] == 4
+        assert pg.self_loop_counts()[1] == 4
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            PortGraph(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            PortGraph(
+                np.zeros((2, 2), dtype=np.int64),
+                port_edge_ids=np.zeros((3, 2), dtype=np.int64),
+            )
+
+
+class TestInvariants:
+    def test_symmetry(self):
+        assert small_graph().is_symmetric()
+
+    def test_asymmetric_detected(self):
+        ports = np.array([[1, 0], [1, 1]])  # 0 points at 1, 1 never back
+        assert not PortGraph(ports).is_symmetric()
+
+    def test_laziness(self):
+        pg = small_graph()
+        assert pg.is_lazy(min_fraction=0.5)
+        assert not pg.is_lazy(min_fraction=0.9)
+
+    def test_neighbor_sets(self):
+        pg = small_graph()
+        assert pg.neighbor_sets() == [{1, 2}, {0, 2}, {0, 1}]
+
+
+class TestWalkMatrix:
+    def test_rows_are_stochastic(self):
+        mat = small_graph().walk_matrix()
+        assert np.allclose(mat.sum(axis=1), 1.0)
+
+    def test_symmetric_for_undirected_multigraph(self):
+        mat = small_graph().walk_matrix()
+        assert np.allclose(mat, mat.T)
+
+    def test_entries_reflect_multiplicity(self):
+        pg = PortGraph.from_edge_multiset(
+            n=2,
+            delta=8,
+            endpoints_a=np.array([0, 0]),
+            endpoints_b=np.array([1, 1]),
+        )
+        mat = pg.walk_matrix()
+        assert mat[0, 1] == pytest.approx(2 / 8)
+        assert mat[0, 0] == pytest.approx(6 / 8)
+
+
+class TestHelpers:
+    def test_complete_lazy_is_lazy_and_symmetric(self):
+        pg = PortGraph.complete_lazy(6, 8)
+        assert pg.is_lazy()
+        assert pg.is_symmetric()
+
+    def test_copy_is_independent(self):
+        pg = small_graph()
+        cp = pg.copy()
+        cp.ports[0, 0] = 0
+        assert pg.ports[0, 0] != 0 or (pg.ports[0] == cp.ports[0]).all() is False
+        assert not np.array_equal(pg.ports, cp.ports)

@@ -1,0 +1,54 @@
+"""Sparse-table range query tests (brute-force differential)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.rmq import SparseTable
+
+
+class TestSparseTable:
+    def test_min_queries_exhaustive(self):
+        values = np.array([5, 2, 8, 1, 9, 3, 7, 4])
+        table = SparseTable(values, op="min")
+        n = len(values)
+        for lo in range(n):
+            for hi in range(lo + 1, n + 1):
+                assert table.query(lo, hi) == values[lo:hi].min()
+
+    def test_max_queries_exhaustive(self):
+        values = np.array([5, 2, 8, 1, 9, 3, 7, 4])
+        table = SparseTable(values, op="max")
+        n = len(values)
+        for lo in range(n):
+            for hi in range(lo + 1, n + 1):
+                assert table.query(lo, hi) == values[lo:hi].max()
+
+    def test_single_element(self):
+        table = SparseTable(np.array([42]), op="min")
+        assert table.query(0, 1) == 42
+
+    def test_random_differential(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(-1000, 1000, size=100)
+        table = SparseTable(values, op="min")
+        for _ in range(200):
+            lo = int(rng.integers(0, 100))
+            hi = int(rng.integers(lo + 1, 101))
+            assert table.query(lo, hi) == values[lo:hi].min()
+
+    def test_invalid_range(self):
+        table = SparseTable(np.arange(5), op="min")
+        with pytest.raises(IndexError):
+            table.query(2, 2)
+        with pytest.raises(IndexError):
+            table.query(0, 6)
+        with pytest.raises(IndexError):
+            table.query(-1, 3)
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            SparseTable(np.arange(3), op="sum")
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            SparseTable(np.zeros((2, 2)))

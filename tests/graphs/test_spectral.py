@@ -1,0 +1,110 @@
+"""Spectral machinery tests: gaps, Cheeger sandwich, sweep cuts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import conductance_exact
+from repro.graphs.portgraph import PortGraph
+from repro.graphs.spectral import (
+    cheeger_bounds,
+    conductance_interval,
+    fiedler_sweep_conductance,
+    lazy_walk_matrix,
+    spectral_gap,
+)
+
+
+def lazy_cycle(n: int, delta: int = 8) -> PortGraph:
+    ends_a = np.arange(n)
+    ends_b = (np.arange(n) + 1) % n
+    return PortGraph.from_edge_multiset(
+        n=n, delta=delta, endpoints_a=ends_a, endpoints_b=ends_b
+    )
+
+
+class TestWalkMatrix:
+    def test_simple_graph_matrix_is_lazy_stochastic(self):
+        mat = lazy_walk_matrix(G.cycle_graph(6))
+        assert np.allclose(mat.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(mat), 0.5)
+
+    def test_portgraph_matrix_used_directly(self):
+        pg = lazy_cycle(6)
+        assert np.allclose(lazy_walk_matrix(pg), pg.walk_matrix())
+
+    def test_isolated_node_self_absorbs(self):
+        mat = lazy_walk_matrix([set(), {2}, {1}])
+        assert mat[0, 0] == 1.0
+
+
+class TestSpectralGap:
+    def test_gap_of_lazy_cycle_matches_formula(self):
+        # Lazy cycle walk matrix eigenvalues: known closed form
+        # lambda_k = 6/8 + (2/8) cos(2 pi k / n) for delta=8 with one
+        # cycle edge each way.
+        n = 16
+        gap = spectral_gap(lazy_cycle(n))
+        expected = 1 - (6 / 8 + (2 / 8) * math.cos(2 * math.pi / n))
+        assert gap == pytest.approx(expected, rel=1e-9)
+
+    def test_gap_shrinks_with_cycle_length(self):
+        gaps = [spectral_gap(lazy_cycle(n)) for n in (8, 16, 32)]
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_gap_positive_iff_connected(self):
+        pg = PortGraph.from_edge_multiset(
+            n=4,
+            delta=4,
+            endpoints_a=np.array([0, 2]),
+            endpoints_b=np.array([1, 3]),
+        )
+        assert spectral_gap(pg) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sparse_path_agrees_with_dense(self):
+        pg = lazy_cycle(64)
+        dense = spectral_gap(pg)
+        sparse = spectral_gap(pg, sparse_threshold=10)
+        assert sparse == pytest.approx(dense, abs=1e-8)
+
+    def test_single_node(self):
+        assert spectral_gap(PortGraph(np.zeros((1, 4), dtype=np.int64))) == 1.0
+
+
+class TestCheegerSandwich:
+    def test_bounds_shape(self):
+        lo, hi = cheeger_bounds(0.08)
+        assert lo == pytest.approx(0.04)
+        assert hi == pytest.approx(math.sqrt(0.16))
+
+    def test_negative_gap_clamped(self):
+        lo, hi = cheeger_bounds(-1e-12)
+        assert lo == 0.0 and hi == 0.0
+
+    @pytest.mark.parametrize("n", [8, 10, 12])
+    def test_sandwich_contains_exact_conductance(self, n):
+        pg = lazy_cycle(n)
+        exact = conductance_exact(pg)
+        lo, _ = cheeger_bounds(spectral_gap(pg))
+        hi = fiedler_sweep_conductance(pg)
+        assert lo <= exact + 1e-9
+        assert exact <= hi + 1e-9
+
+
+class TestSweepCut:
+    def test_sweep_upper_bounds_gap_conductance(self):
+        pg = lazy_cycle(24)
+        gap = spectral_gap(pg)
+        sweep = fiedler_sweep_conductance(pg)
+        assert sweep <= math.sqrt(2 * gap) + 1e-9
+
+    def test_sweep_on_simple_graph(self):
+        # Barbell: the sweep must find the bridge cut.
+        phi = fiedler_sweep_conductance(G.barbell(6))
+        assert phi < 0.05
+
+    def test_interval_is_ordered(self):
+        lo, hi = conductance_interval(lazy_cycle(20))
+        assert lo <= hi

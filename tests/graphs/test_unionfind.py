@@ -1,0 +1,50 @@
+"""Union-find unit tests."""
+
+import pytest
+
+from repro.graphs.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.num_sets == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert uf.num_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.num_sets == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(4) == uf.find(5)
+        assert uf.find(0) != uf.find(4)
+        assert uf.find(3) == 3
+
+    def test_groups(self):
+        uf = UnionFind(5)
+        uf.union(0, 2)
+        uf.union(2, 4)
+        groups = sorted(map(tuple, uf.groups().values()))
+        assert groups == [(0, 2, 4), (1,), (3,)]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty(self):
+        uf = UnionFind(0)
+        assert uf.num_sets == 0
+        assert uf.groups() == {}

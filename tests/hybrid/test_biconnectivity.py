@@ -1,0 +1,135 @@
+"""Biconnectivity (Theorem 1.4) tests — differential against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.hybrid.biconnectivity import biconnected_components_hybrid
+
+
+def nx_truth(graph):
+    comps = {
+        frozenset(frozenset(e) for e in ({tuple(sorted(e)) for e in c}))
+        for c in nx.biconnected_component_edges(graph)
+    }
+    arts = set(nx.articulation_points(graph))
+    bridges = {tuple(sorted(e)) for e in nx.bridges(graph)}
+    return comps, arts, bridges
+
+
+def ours(result):
+    comps = {
+        frozenset(frozenset(e) for e in comp)
+        for comp in result.components.values()
+    }
+    return comps, result.cut_vertices, result.bridges
+
+
+CASES = [
+    ("barbell", lambda r: G.barbell(8, 3)),
+    ("lollipop", lambda r: G.lollipop(7, 8)),
+    ("cycle", lambda r: G.cycle_graph(17)),
+    ("line", lambda r: G.line_graph(12)),
+    ("grid", lambda r: G.grid_2d(5, 5)),
+    ("ring_cliques", lambda r: G.ring_of_cliques(4, 5)),
+    ("double_star", lambda r: G.double_star(24)),
+    ("er", lambda r: G.erdos_renyi_connected(60, 4.5, r)),
+    ("er_dense", lambda r: G.erdos_renyi_connected(50, 10.0, r)),
+    ("caterpillar", lambda r: G.caterpillar(25)),
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name,make", CASES, ids=[c[0] for c in CASES])
+    def test_matches_networkx_bfs_tree(self, name, make):
+        g = make(np.random.default_rng(3))
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        assert ours(res) == nx_truth(g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_walk_tree(self, seed):
+        g = G.erdos_renyi_connected(50, 5.0, np.random.default_rng(seed))
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(seed), tree_source="walk"
+        )
+        assert ours(res) == nx_truth(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_many_seeds(self, seed):
+        g = G.erdos_renyi_connected(40, 3.5, np.random.default_rng(seed + 50))
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(seed), tree_source="bfs"
+        )
+        assert ours(res) == nx_truth(g)
+
+
+class TestStructure:
+    def test_biconnected_flag(self):
+        res = biconnected_components_hybrid(
+            G.cycle_graph(12), rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        assert res.is_biconnected
+        res2 = biconnected_components_hybrid(
+            G.barbell(5, 2), rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        assert not res2.is_biconnected
+
+    def test_every_edge_labelled(self):
+        g = G.grid_2d(4, 6)
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        assert set(res.edge_component) == {
+            (min(a, b), max(a, b)) for a, b in g.edges
+        }
+
+    def test_single_edge_graph(self):
+        g = G.line_graph(2)
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        assert res.bridges == {(0, 1)}
+        assert res.cut_vertices == set()
+
+    def test_disconnected_rejected(self):
+        mix, _ = G.component_mixture([G.line_graph(4), G.line_graph(4)])
+        with pytest.raises(ValueError):
+            biconnected_components_hybrid(mix, tree_source="bfs")
+
+    def test_precomputed_tree_accepted(self):
+        from repro.core.bfs import build_bfs_forest
+        from repro.core.child_sibling import RootedTree
+        from repro.graphs.analysis import adjacency_sets
+
+        g = G.barbell(6, 2)
+        bfs = build_bfs_forest(adjacency_sets(g))
+        tree = RootedTree(root=bfs.roots[0], parent=bfs.parent.copy())
+        res = biconnected_components_hybrid(g, tree=tree)
+        assert ours(res) == nx_truth(g)
+
+    def test_bad_tree_source_rejected(self):
+        with pytest.raises(ValueError):
+            biconnected_components_hybrid(
+                G.cycle_graph(6), tree_source="magic"
+            )
+
+
+class TestTarjanVishkinInternals:
+    def test_low_high_bounds(self):
+        g = G.cycle_graph(10)
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        # low <= label <= high for every node.
+        assert (res.low <= res.labels).all()
+        assert (res.high >= res.labels).all()
+
+    def test_labels_are_preorder(self):
+        g = G.line_graph(8)
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(0), tree_source="bfs"
+        )
+        assert sorted(res.labels.tolist()) == list(range(1, 9))

@@ -1,0 +1,90 @@
+"""Degree reduction (edge delegation) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets, connected_components, is_connected
+from repro.hybrid.degree_reduction import reduce_degree
+from repro.hybrid.spanner import SpannerResult, build_spanner
+
+
+def spanner_of(graph, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return build_spanner(graph, rng, **kwargs)
+
+
+def manual_spanner(out_edges):
+    n = len(out_edges)
+    return SpannerResult(
+        out_edges=[set(t) for t in out_edges],
+        active=np.ones(n, dtype=bool),
+        added_all=np.zeros(n, dtype=bool),
+        shifts=np.zeros(n),
+        rounds=0,
+    )
+
+
+class TestDelegationMechanics:
+    def test_star_center_delegates(self):
+        # Everyone points at node 0: 0 keeps only {0,1}; others chain.
+        sp = manual_spanner([set()] + [{0}] * 5)
+        red = reduce_degree(sp)
+        assert red.adj[0] == {1}
+        assert red.adj[3] == {2, 4}
+        # Chain edges remember centre 0.
+        assert red.delegation[frozenset((2, 3))] == 0
+        assert red.delegation[frozenset((1, 2))] == 0
+        assert red.delegation[frozenset((0, 1))] is None
+
+    def test_expand_edge(self):
+        sp = manual_spanner([set()] + [{0}] * 4)
+        red = reduce_degree(sp)
+        assert red.expand_edge(2, 3) == [(2, 0), (0, 3)]
+        assert red.expand_edge(0, 1) == [(0, 1)]
+
+    def test_genuine_edge_wins_over_delegated(self):
+        # Edge {1,2} exists in the spanner AND arises as a chain edge.
+        sp = manual_spanner([set(), {2}, set(), {1, 2}])
+        # Node 1 -> 2 genuine; node 3 -> {1, 2}; incoming of 2 = {1, 3}.
+        red = reduce_degree(sp)
+        assert red.delegation[frozenset((1, 2))] is None
+
+    def test_rounds_constant(self):
+        sp = manual_spanner([{1}, set()])
+        assert reduce_degree(sp).rounds == 2
+
+
+class TestStructurePreservation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_components_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        mix, members = G.component_mixture(
+            [G.star_graph(30), G.erdos_renyi_connected(50, 8.0, rng)]
+        )
+        red = reduce_degree(spanner_of(mix, seed))
+        comps = connected_components(red.adj)
+        assert sorted(map(tuple, comps)) == sorted(map(tuple, members))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_degree_bound(self, seed):
+        n = 200
+        g = G.erdos_renyi_connected(n, 20.0, np.random.default_rng(seed))
+        red = reduce_degree(spanner_of(g, seed))
+        # H degree = O(log n); calibrated allowance 8x log2 n.
+        assert red.max_degree() <= 8 * np.log2(n)
+
+    def test_star_degree_collapses(self):
+        g = G.star_graph(300)
+        red = reduce_degree(spanner_of(g))
+        assert red.max_degree() <= 4  # hub degree 299 -> small constant
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_expansions_are_input_edges(self, seed):
+        g = G.erdos_renyi_connected(80, 12.0, np.random.default_rng(seed))
+        adj = adjacency_sets(g)
+        red = reduce_degree(spanner_of(g, seed))
+        for key in red.delegation:
+            a, b = tuple(key)
+            for x, y in red.expand_edge(a, b):
+                assert y in adj[x]

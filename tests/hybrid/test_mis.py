@@ -1,0 +1,146 @@
+"""MIS via shattering (Theorem 1.5) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets
+from repro.hybrid.mis import (
+    DOMINATED,
+    IN_MIS,
+    UNDECIDED,
+    ghaffari_stage,
+    metivier_mis,
+    mis_hybrid,
+    verify_mis,
+)
+
+
+class TestVerifyMIS:
+    def test_accepts_valid(self):
+        adj = adjacency_sets(G.line_graph(5))
+        assert verify_mis(adj, {0, 2, 4})
+
+    def test_rejects_dependent(self):
+        adj = adjacency_sets(G.line_graph(5))
+        assert not verify_mis(adj, {0, 1, 4})
+
+    def test_rejects_non_maximal(self):
+        adj = adjacency_sets(G.line_graph(5))
+        assert not verify_mis(adj, {0})
+
+
+class TestGhaffari:
+    def test_states_partition(self, rng):
+        adj = adjacency_sets(G.cycle_graph(30))
+        res = ghaffari_stage(adj, 10, rng)
+        states = set(res.state.tolist())
+        assert states <= {UNDECIDED, IN_MIS, DOMINATED}
+
+    def test_mis_nodes_independent(self, rng):
+        adj = adjacency_sets(G.erdos_renyi_connected(80, 6.0, rng))
+        res = ghaffari_stage(adj, 12, rng)
+        mis = {v for v, s in enumerate(res.state.tolist()) if s == IN_MIS}
+        for v in mis:
+            assert not any(u in mis for u in adj[v])
+
+    def test_dominated_have_mis_neighbor(self, rng):
+        adj = adjacency_sets(G.grid_2d(8, 8))
+        res = ghaffari_stage(adj, 12, rng)
+        mis = {v for v, s in enumerate(res.state.tolist()) if s == IN_MIS}
+        for v, s in enumerate(res.state.tolist()):
+            if s == DOMINATED:
+                assert any(u in mis for u in adj[v])
+
+    def test_shattering_leaves_few_undecided(self, rng):
+        adj = adjacency_sets(G.erdos_renyi_connected(200, 8.0, rng))
+        res = ghaffari_stage(adj, 16, rng)
+        assert len(res.undecided()) <= 20  # most nodes decided w.h.p.
+
+
+class TestMetivier:
+    def test_produces_valid_mis(self, rng):
+        adj = adjacency_sets(G.cycle_graph(25))
+        res = metivier_mis(adj, list(range(25)), rng)
+        assert verify_mis(adj, res.in_mis)
+
+    def test_respects_subset(self, rng):
+        adj = adjacency_sets(G.line_graph(10))
+        subset = [0, 1, 2, 3, 4]
+        res = metivier_mis(adj, subset, rng)
+        assert res.in_mis <= set(subset)
+        # Valid MIS of the induced subgraph.
+        sub = [adj[v] & set(subset) if v in subset else set() for v in range(10)]
+        for v in res.in_mis:
+            assert not any(u in res.in_mis for u in sub[v])
+
+    def test_rounds_logarithmic_ish(self, rng):
+        adj = adjacency_sets(G.erdos_renyi_connected(150, 6.0, rng))
+        res = metivier_mis(adj, list(range(150)), rng)
+        assert res.rounds <= 30
+
+    def test_empty_subset(self, rng):
+        adj = adjacency_sets(G.line_graph(4))
+        res = metivier_mis(adj, [], rng)
+        assert res.in_mis == set()
+        assert res.rounds == 0
+
+
+class TestHybridMIS:
+    @pytest.mark.parametrize(
+        "make,seed",
+        [
+            (lambda r: G.line_graph(120), 0),
+            (lambda r: G.cycle_graph(90), 1),
+            (lambda r: G.grid_2d(10, 10), 2),
+            (lambda r: G.star_graph(40), 3),
+            (lambda r: G.erdos_renyi_connected(150, 10.0, r), 4),
+            (lambda r: G.random_regular(100, 6, r), 5),
+        ],
+        ids=["line", "cycle", "grid", "star", "er", "regular"],
+    )
+    def test_valid_mis(self, make, seed):
+        g = make(np.random.default_rng(seed))
+        res = mis_hybrid(g, rng=np.random.default_rng(seed + 10))
+        assert verify_mis(adjacency_sets(g), res.in_mis)
+
+    def test_forced_shattering_residue(self):
+        # Few Ghaffari rounds leave undecided components for stage 3.
+        g = G.erdos_renyi_connected(200, 8.0, np.random.default_rng(0))
+        res = mis_hybrid(
+            g, rng=np.random.default_rng(1), shatter_rounds=2
+        )
+        assert verify_mis(adjacency_sets(g), res.in_mis)
+        assert len(res.component_sizes) > 0
+        assert all(r >= 1 for r in res.winner_rounds.values())
+
+    def test_overlay_backed_mode(self):
+        g = G.erdos_renyi_connected(120, 8.0, np.random.default_rng(2))
+        res = mis_hybrid(
+            g,
+            rng=np.random.default_rng(3),
+            shatter_rounds=2,
+            build_overlays=True,
+        )
+        assert verify_mis(adjacency_sets(g), res.in_mis)
+        names = [name for name, *_ in res.ledger.phases]
+        assert any(name.startswith("component_overlays/") for name in names)
+
+    def test_rounds_scale_with_degree_not_n(self):
+        rng = np.random.default_rng(4)
+        low_d = mis_hybrid(G.cycle_graph(400), rng=rng)
+        high_d = mis_hybrid(
+            G.erdos_renyi_connected(100, 30.0, rng), rng=rng
+        )
+        assert low_d.shattering_rounds < high_d.shattering_rounds
+
+    def test_multi_component_input(self):
+        mix, _ = G.component_mixture([G.line_graph(30), G.cycle_graph(30)])
+        res = mis_hybrid(mix, rng=np.random.default_rng(5))
+        assert verify_mis(adjacency_sets(mix), res.in_mis)
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        res = mis_hybrid(nx.Graph())
+        assert res.in_mis == set()

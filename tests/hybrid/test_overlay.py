@@ -1,0 +1,116 @@
+"""Hybrid overlay (Theorem 4.1) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import (
+    adjacency_sets,
+    connected_components,
+    diameter,
+    is_connected,
+)
+from repro.graphs.spectral import spectral_gap
+from repro.hybrid.overlay import (
+    HybridOverlayParams,
+    build_hybrid_overlay,
+)
+
+
+class TestParams:
+    def test_stitched_ell_must_be_power_structure(self):
+        with pytest.raises(ValueError):
+            HybridOverlayParams(delta=32, ell=24, num_evolutions=3)
+        HybridOverlayParams(delta=32, ell=16, num_evolutions=3)  # ok
+
+    def test_plain_ell_free(self):
+        HybridOverlayParams(delta=32, ell=24, num_evolutions=3, use_stitching=False)
+
+    def test_recommended_fits_input_degree(self):
+        p = HybridOverlayParams.recommended(100, max_degree=30)
+        assert p.delta >= 60
+        assert p.delta % 8 == 0
+
+    def test_oversample(self):
+        p = HybridOverlayParams(delta=32, ell=16, num_evolutions=2)
+        assert p.oversample == 8
+
+
+class TestConstruction:
+    def test_connected_overlay_from_line(self):
+        res = build_hybrid_overlay(
+            G.line_graph(80), rng=np.random.default_rng(0)
+        )
+        adj = res.final_graph.neighbor_sets()
+        assert is_connected(adj)
+        assert res.final_graph.is_lazy()
+        assert res.final_graph.is_symmetric()
+
+    def test_gap_grows(self):
+        res = build_hybrid_overlay(
+            G.line_graph(100), rng=np.random.default_rng(1), track_gap=True
+        )
+        gaps = [s.spectral_gap for s in res.history]
+        assert gaps[-1] > 0.04
+
+    def test_diameter_logarithmic(self):
+        res = build_hybrid_overlay(G.line_graph(128), rng=np.random.default_rng(2))
+        assert diameter(res.final_graph.neighbor_sets()) <= 14
+
+    def test_adaptive_stop_with_long_walks_is_fast(self):
+        res = build_hybrid_overlay(
+            G.cycle_graph(128), rng=np.random.default_rng(3), gap_threshold=0.04
+        )
+        # Long (ell=64) walks gain conductance fast: few evolutions.
+        assert len(res.history) <= 6
+
+    def test_degree_too_high_rejected(self):
+        params = HybridOverlayParams(delta=32, ell=16, num_evolutions=2)
+        with pytest.raises(ValueError, match="degree"):
+            build_hybrid_overlay(G.star_graph(64), rng=np.random.default_rng(4), params=params)
+
+    def test_plain_walk_mode(self):
+        params = HybridOverlayParams(
+            delta=48, ell=32, num_evolutions=8, use_stitching=False
+        )
+        res = build_hybrid_overlay(
+            G.cycle_graph(64), rng=np.random.default_rng(5), params=params
+        )
+        assert is_connected(res.final_graph.neighbor_sets())
+
+
+class TestMultiComponent:
+    def test_walks_never_cross_components(self):
+        mix, members = G.component_mixture([G.line_graph(40), G.cycle_graph(40)])
+        res = build_hybrid_overlay(mix, rng=np.random.default_rng(6))
+        comps = connected_components(res.final_graph.neighbor_sets())
+        assert sorted(map(tuple, comps)) == sorted(map(tuple, members))
+
+    def test_each_component_becomes_expander(self):
+        mix, members = G.component_mixture([G.cycle_graph(48), G.cycle_graph(48)])
+        res = build_hybrid_overlay(mix, rng=np.random.default_rng(7))
+        adj = res.final_graph.neighbor_sets()
+        for member in members:
+            sub = {v: adj[v] & set(member) for v in member}
+            index = {v: i for i, v in enumerate(member)}
+            local = [set(index[u] for u in sub[v]) for v in member]
+            assert is_connected(local)
+            assert diameter(local) <= 10
+
+
+class TestLedger:
+    def test_rounds_per_evolution_logarithmic_in_ell(self):
+        res = build_hybrid_overlay(G.cycle_graph(64), rng=np.random.default_rng(8))
+        for name, lr, gr, gc in res.ledger.phases:
+            # Stitched walks: 2 + log2(ell/2) + 2 rounds per evolution.
+            assert gr <= 2 + int(np.log2(res.params.ell)) + 2
+
+    def test_traces_roundtrip(self):
+        res = build_hybrid_overlay(
+            G.cycle_graph(48), rng=np.random.default_rng(9), record_traces=True
+        )
+        for level, registry in enumerate(res.level_registries):
+            for edge in registry[:5]:
+                assert edge.node_trace is not None
+                assert edge.node_trace[0] == edge.origin
+                assert edge.node_trace[-1] == edge.endpoint

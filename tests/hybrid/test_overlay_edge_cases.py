@@ -1,0 +1,77 @@
+"""Hybrid overlay edge cases and engine-agreement checks."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import diameter, is_connected
+from repro.graphs.spectral import spectral_gap
+from repro.hybrid.overlay import HybridOverlayParams, build_hybrid_overlay
+
+
+class TestTinyInputs:
+    def test_two_nodes(self):
+        res = build_hybrid_overlay(G.line_graph(2), rng=np.random.default_rng(0))
+        assert is_connected(res.final_graph.neighbor_sets())
+
+    def test_three_node_path(self):
+        res = build_hybrid_overlay(G.line_graph(3), rng=np.random.default_rng(1))
+        assert is_connected(res.final_graph.neighbor_sets())
+
+    def test_single_edge_pair_components(self):
+        mix, _ = G.component_mixture([G.line_graph(2), G.line_graph(2)])
+        res = build_hybrid_overlay(mix, rng=np.random.default_rng(2))
+        from repro.graphs.analysis import connected_components
+
+        comps = connected_components(res.final_graph.neighbor_sets())
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3)]
+
+
+class TestEngineAgreement:
+    def test_stitched_and_plain_reach_same_regime(self):
+        """Both walk engines drive the same conductance growth."""
+        n = 80
+        stitched_params = HybridOverlayParams(
+            delta=48, ell=32, num_evolutions=8, use_stitching=True
+        )
+        plain_params = HybridOverlayParams(
+            delta=48, ell=32, num_evolutions=8, use_stitching=False
+        )
+        gaps = {}
+        for name, params in [("stitched", stitched_params), ("plain", plain_params)]:
+            res = build_hybrid_overlay(
+                G.cycle_graph(n), rng=np.random.default_rng(3), params=params
+            )
+            gaps[name] = spectral_gap(res.final_graph)
+        assert gaps["stitched"] > 0.03
+        assert gaps["plain"] > 0.03
+        assert 0.3 < gaps["stitched"] / gaps["plain"] < 3.0
+
+    def test_edge_copies_fill_port_slack(self):
+        """Sparse inputs get their edges copied into idle ports."""
+        res = build_hybrid_overlay(G.line_graph(20), rng=np.random.default_rng(4))
+        base = res.levels[0]
+        # An interior line node has 2 distinct neighbours but many more
+        # real ports (the copies), strengthening sparse cuts.
+        assert base.real_degree()[10] > 2
+        assert base.is_lazy()
+
+    def test_dense_input_single_copies(self):
+        params = HybridOverlayParams(delta=32, ell=16, num_evolutions=2)
+        g = G.random_regular(24, 8, np.random.default_rng(5))
+        res = build_hybrid_overlay(g, rng=np.random.default_rng(6), params=params)
+        base = res.levels[0]
+        # delta/(4*dmax) = 1: exactly one port per incident edge.
+        assert (base.real_degree() == 8).all()
+
+
+class TestQualityAcrossWorkloads:
+    @pytest.mark.parametrize(
+        "name", ["line", "cycle", "binary_tree", "caterpillar", "double_star"]
+    )
+    def test_overlay_diameter_small(self, name):
+        g = G.make_workload(name, 96, np.random.default_rng(7))
+        res = build_hybrid_overlay(g, rng=np.random.default_rng(8))
+        adj = res.final_graph.neighbor_sets()
+        assert is_connected(adj)
+        assert diameter(adj) <= 12

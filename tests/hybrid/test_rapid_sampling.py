@@ -1,0 +1,118 @@
+"""Rapid sampling (Lemma 4.2) tests: stitching mechanics and distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.benign import make_benign
+from repro.core.params import ExpanderParams
+from repro.core.walks import run_token_walks
+from repro.graphs import generators as G
+from repro.graphs.portgraph import SELF_LOOP
+from repro.hybrid.rapid_sampling import _pair_tokens, stitched_walks
+
+
+PARAMS = ExpanderParams(delta=32, lam=2, ell=8, num_evolutions=1)
+
+
+@pytest.fixture
+def cycle_pg():
+    pg, _ = make_benign(G.cycle_graph(10), PARAMS)
+    return pg
+
+
+class TestPairing:
+    def test_pairs_are_at_same_node(self, rng):
+        positions = np.array([0, 0, 0, 0, 1, 1, 2])
+        reds, blues = _pair_tokens(positions, rng)
+        assert len(reds) == len(blues) == 3  # two pairs at 0, one at 1
+        for r, b in zip(reds, blues):
+            assert positions[r] == positions[b]
+
+    def test_odd_token_dropped(self, rng):
+        positions = np.array([5, 5, 5])
+        reds, blues = _pair_tokens(positions, rng)
+        assert len(reds) == 1
+
+    def test_red_blue_disjoint(self, rng):
+        positions = np.zeros(20, dtype=np.int64)
+        reds, blues = _pair_tokens(positions, rng)
+        assert len(set(reds.tolist()) & set(blues.tolist())) == 0
+
+    def test_empty(self, rng):
+        reds, blues = _pair_tokens(np.empty(0, dtype=np.int64), rng)
+        assert reds.size == 0 and blues.size == 0
+
+
+class TestStitching:
+    def test_target_length_validation(self, cycle_pg, rng):
+        with pytest.raises(ValueError):
+            stitched_walks(cycle_pg, 4, target_length=6, rng=rng)  # 6 != 2*2^k
+        with pytest.raises(ValueError):
+            stitched_walks(cycle_pg, 4, target_length=1, rng=rng)
+
+    def test_rounds_logarithmic_in_length(self, cycle_pg, rng):
+        res = stitched_walks(cycle_pg, 64, target_length=32, rng=rng)
+        assert res.rounds == 2 + 4  # 2 plain steps + log2(16) stitches
+        assert res.length == 32
+
+    def test_survivor_count_scales(self, cycle_pg, rng):
+        tokens = 40
+        res = stitched_walks(cycle_pg, tokens, target_length=16, rng=rng)
+        expected = 10 * tokens * 2 // 16  # n * tokens * s0 / ell
+        assert res.num_tokens == pytest.approx(expected, rel=0.4)
+
+    def test_traces_consistent(self, cycle_pg, rng):
+        res = stitched_walks(
+            cycle_pg, 32, target_length=8, rng=rng, record_traces=True
+        )
+        assert res.node_traces.shape == (res.num_tokens, 9)
+        assert res.edge_traces.shape == (res.num_tokens, 8)
+        assert (res.node_traces[:, 0] == res.origins).all()
+        assert (res.node_traces[:, -1] == res.endpoints).all()
+
+    def test_trace_steps_are_graph_moves(self, cycle_pg, rng):
+        res = stitched_walks(
+            cycle_pg, 32, target_length=8, rng=rng, record_traces=True
+        )
+        for k in range(min(res.num_tokens, 50)):
+            for step in range(8):
+                a = int(res.node_traces[k, step])
+                b = int(res.node_traces[k, step + 1])
+                eid = int(res.edge_traces[k, step])
+                if eid == SELF_LOOP:
+                    assert a == b
+                else:
+                    # Edge id must connect a and b on the base graph.
+                    found = False
+                    for i in range(cycle_pg.delta):
+                        if (
+                            cycle_pg.port_edge_ids[a, i] == eid
+                            and cycle_pg.ports[a, i] == b
+                        ):
+                            found = True
+                    assert found
+
+
+class TestDistributionEquivalence:
+    def test_stitched_matches_plain_walks(self, rng):
+        # Lemma 4.2: stitched endpoints follow the plain ell-step walk
+        # distribution.  Compare conditional on one origin by TV distance.
+        pg, _ = make_benign(G.cycle_graph(12), PARAMS)
+        ell = 8
+        samples = 50_000
+        plain = run_token_walks(
+            pg,
+            tokens_per_node=0,
+            length=ell,
+            rng=rng,
+            starts=np.zeros(samples, dtype=np.int64),
+        )
+        # Survival is ~2/ell per token: 8000 tokens -> ~2000 survivors
+        # per origin.
+        stitched = stitched_walks(pg, 8000, target_length=ell, rng=rng)
+        mask = stitched.origins == 0
+        assert mask.sum() > 1200
+        p = np.bincount(plain.endpoints, minlength=12) / samples
+        q = np.bincount(stitched.endpoints[mask], minlength=12) / mask.sum()
+        tv = 0.5 * np.abs(p - q).sum()
+        assert tv < 0.05

@@ -1,0 +1,94 @@
+"""Elkin–Neiman spanner tests: connectivity, degree, subgraph property."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets, connected_components, is_connected
+from repro.hybrid.spanner import build_spanner
+
+
+class TestSubgraphProperty:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_spanner_edges_exist_in_input(self, seed):
+        rng = np.random.default_rng(seed)
+        g = G.erdos_renyi_connected(120, 10.0, rng)
+        adj = adjacency_sets(g)
+        sp = build_spanner(g, rng)
+        for v, targets in enumerate(sp.out_edges):
+            for u in targets:
+                assert u in adj[v]
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_connected_inputs_stay_connected(self, seed):
+        rng = np.random.default_rng(seed)
+        g = G.erdos_renyi_connected(150, 12.0, rng)
+        sp = build_spanner(g, rng)
+        assert is_connected(sp.undirected_adjacency())
+
+    def test_component_structure_preserved(self, rng):
+        mix, members = G.component_mixture(
+            [G.star_graph(40), G.erdos_renyi_connected(60, 8.0, rng), G.cycle_graph(30)]
+        )
+        sp = build_spanner(mix, rng)
+        comps = connected_components(sp.undirected_adjacency())
+        assert sorted(map(tuple, comps)) == sorted(map(tuple, members))
+
+    def test_dense_graph_connected(self, rng):
+        g = G.complete_graph(60)
+        sp = build_spanner(g, rng)
+        assert is_connected(sp.undirected_adjacency())
+
+
+class TestDegreeBounds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_outdegree_logarithmic(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 250
+        g = G.erdos_renyi_connected(n, 24.0, rng)
+        sp = build_spanner(g, rng)
+        # O(log n) with the calibrated threshold: allow 6x log2(n).
+        assert sp.max_outdegree() <= 6 * np.log2(n)
+
+    def test_edge_count_near_linear(self, rng):
+        n = 250
+        g = G.erdos_renyi_connected(n, 24.0, rng)
+        sp = build_spanner(g, rng)
+        assert sp.num_directed_edges() <= 6 * n * np.log2(n)
+
+
+class TestMechanics:
+    def test_low_degree_nodes_add_all(self, rng):
+        g = G.star_graph(40)  # leaves have degree 1 < threshold
+        sp = build_spanner(g, rng)
+        for leaf in range(1, 40):
+            assert sp.added_all[leaf]
+            assert 0 in sp.out_edges[leaf]
+
+    def test_inactive_fallback_engages(self, rng):
+        # With discarded shifts (very small component bound), inactive
+        # nodes must still add their edges (documented deviation).
+        g = G.cycle_graph(30)
+        sp = build_spanner(g, rng, component_bound=2)
+        assert is_connected(sp.undirected_adjacency())
+
+    def test_rounds_scale_with_component_bound(self, rng):
+        g = G.cycle_graph(64)
+        small = build_spanner(g, rng, component_bound=8)
+        large = build_spanner(g, rng, component_bound=64)
+        assert small.rounds < large.rounds
+
+    def test_empty_graph(self, rng):
+        import networkx as nx
+
+        sp = build_spanner(nx.Graph(), rng)
+        assert sp.out_edges == []
+        assert sp.rounds == 0
+
+    def test_shifts_truncated(self, rng):
+        g = G.cycle_graph(40)
+        sp = build_spanner(g, rng)
+        finite = sp.shifts[np.isfinite(sp.shifts)]
+        assert (finite <= 2 * np.log(40) + 1e-9).all()

@@ -1,0 +1,109 @@
+"""Spanning tree via walk unwinding (Theorem 1.3) tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets
+from repro.hybrid.spanning_tree import spanning_tree_hybrid
+
+
+def assert_valid_spanning_tree(graph, result):
+    n = graph.number_of_nodes()
+    gadj = adjacency_sets(graph)
+    # Every tree edge is a G edge.
+    for a, b in result.tree_edges:
+        assert b in gadj[a], f"edge ({a},{b}) not in G"
+    # n-1 edges forming a connected acyclic graph on all nodes.
+    t = nx.Graph()
+    t.add_nodes_from(range(n))
+    t.add_edges_from(result.tree_edges)
+    assert t.number_of_edges() == n - 1
+    assert nx.is_tree(t)
+    # Parent array consistent with the edge set.
+    for v in range(n):
+        p = int(result.parent[v])
+        if v == result.root:
+            assert p == v
+        else:
+            assert (min(v, p), max(v, p)) in result.tree_edges
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "make,seed",
+        [
+            (lambda r: G.line_graph(60), 0),
+            (lambda r: G.cycle_graph(48), 1),
+            (lambda r: G.grid_2d(7, 7), 2),
+            (lambda r: G.barbell(15, 4), 3),
+            (lambda r: G.erdos_renyi_connected(80, 8.0, r), 4),
+            (lambda r: G.random_tree(70, r), 5),
+        ],
+        ids=["line", "cycle", "grid", "barbell", "er", "tree"],
+    )
+    def test_valid_spanning_tree(self, make, seed):
+        rng = np.random.default_rng(seed)
+        g = make(rng)
+        result = spanning_tree_hybrid(g, rng=np.random.default_rng(seed + 100))
+        assert_valid_spanning_tree(g, result)
+
+    def test_high_degree_uses_spanner_route(self):
+        g = G.star_graph(120)
+        result = spanning_tree_hybrid(g, rng=np.random.default_rng(6))
+        assert_valid_spanning_tree(g, result)
+        names = [name for name, *_ in result.ledger.phases]
+        assert "spanner_broadcast" in names
+
+    def test_low_degree_skips_spanner(self):
+        g = G.cycle_graph(32)
+        result = spanning_tree_hybrid(g, rng=np.random.default_rng(7))
+        names = [name for name, *_ in result.ledger.phases]
+        assert "spanner_broadcast" not in names
+
+    def test_force_spanner_flag(self):
+        g = G.cycle_graph(32)
+        result = spanning_tree_hybrid(
+            g, rng=np.random.default_rng(8), force_spanner=True
+        )
+        assert_valid_spanning_tree(g, result)
+
+    def test_disconnected_rejected(self):
+        mix, _ = G.component_mixture([G.line_graph(5), G.line_graph(5)])
+        with pytest.raises(ValueError, match="connected"):
+            spanning_tree_hybrid(mix, rng=np.random.default_rng(9))
+
+
+class TestStreamBehaviour:
+    def test_occurrence_counts_cover_all_nodes(self):
+        g = G.cycle_graph(40)
+        result = spanning_tree_hybrid(g, rng=np.random.default_rng(10))
+        assert (result.occurrences >= 1).all()
+        assert result.stream_steps >= 40 - 1
+
+    def test_budget_exceeded_raises(self):
+        from repro.hybrid.spanning_tree import UnwindBudgetExceeded
+
+        g = G.line_graph(60)
+        with pytest.raises(UnwindBudgetExceeded):
+            spanning_tree_hybrid(
+                g, rng=np.random.default_rng(11), max_stream_steps=10
+            )
+
+    def test_deterministic_given_seed(self):
+        g = G.grid_2d(6, 6)
+        r1 = spanning_tree_hybrid(g, rng=np.random.default_rng(12))
+        r2 = spanning_tree_hybrid(g, rng=np.random.default_rng(12))
+        assert r1.tree_edges == r2.tree_edges
+
+
+class TestLedger:
+    def test_capacity_reflects_trace_annotation(self):
+        g = G.cycle_graph(40)
+        result = spanning_tree_hybrid(g, rng=np.random.default_rng(13))
+        # Theorem 1.3 charges O(log^5 n)-scale capacity for traces; it
+        # must dominate the plain overlay capacity.
+        assert result.ledger.max_global_capacity >= (
+            result.overlay.params.delta * result.overlay.params.ell
+        )

@@ -1,0 +1,114 @@
+"""End-to-end integration tests across the full stack."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import (
+    biconnected_components_hybrid,
+    build_well_formed_tree,
+    connected_components_hybrid,
+    mis_hybrid,
+    spanning_tree_hybrid,
+)
+from repro.graphs import generators as G
+from repro.graphs.analysis import adjacency_sets, connected_components
+from repro.hybrid.mis import verify_mis
+
+
+class TestTheorem11EndToEnd:
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_line_to_well_formed_tree(self, n):
+        result = build_well_formed_tree(
+            G.line_graph(n), rng=np.random.default_rng(n)
+        )
+        log_n = math.ceil(math.log2(n))
+        assert result.well_formed.max_degree() <= 3
+        assert result.well_formed.depth() <= log_n + 1
+        # O(log n) rounds with the calibrated constant (< 40 per log2 n:
+        # evolutions dominate at (ell+1) * (log n + 4) rounds).
+        assert result.total_rounds <= 40 * log_n
+
+    def test_many_topologies_one_seed(self):
+        rng = np.random.default_rng(42)
+        for name in ["line", "cycle", "binary_tree", "grid", "caterpillar"]:
+            g = G.make_workload(name, 80, rng)
+            result = build_well_formed_tree(g, rng=np.random.default_rng(0))
+            assert result.well_formed.max_degree() <= 3
+
+
+class TestSection4EndToEnd:
+    def test_full_analytics_stack_on_one_graph(self):
+        """CC, ST, BCC, and MIS on the same composite network."""
+        rng = np.random.default_rng(7)
+        g = G.barbell(20, 6)
+        n = g.number_of_nodes()
+
+        st_res = spanning_tree_hybrid(g, rng=np.random.default_rng(1))
+        t = nx.Graph()
+        t.add_nodes_from(range(n))
+        t.add_edges_from(st_res.tree_edges)
+        assert nx.is_tree(t)
+
+        bcc = biconnected_components_hybrid(g, rng=np.random.default_rng(2))
+        assert bcc.cut_vertices == set(nx.articulation_points(g))
+
+        mis = mis_hybrid(g, rng=np.random.default_rng(3))
+        assert verify_mis(adjacency_sets(g), mis.in_mis)
+
+    def test_components_then_per_component_analytics(self):
+        rng = np.random.default_rng(11)
+        mix, members = G.component_mixture(
+            [G.cycle_graph(30), G.erdos_renyi_connected(40, 6.0, rng)]
+        )
+        comp = connected_components_hybrid(mix, rng=np.random.default_rng(4))
+        truth = {
+            min(c): sorted(c)
+            for c in connected_components(adjacency_sets(mix))
+        }
+        assert {k: sorted(v) for k, v in comp.components().items()} == truth
+        # The forest gives every node an O(log m) path to its root.
+        for root, wft in comp.forest.trees.items():
+            assert wft.max_degree() <= 3
+
+    def test_spanning_tree_feeds_biconnectivity(self):
+        from repro.core.child_sibling import RootedTree
+
+        g = G.ring_of_cliques(4, 6)
+        st_res = spanning_tree_hybrid(g, rng=np.random.default_rng(5))
+        tree = RootedTree(root=st_res.root, parent=st_res.parent.copy())
+        bcc = biconnected_components_hybrid(g, tree=tree)
+        truth = {
+            frozenset(frozenset(tuple(sorted(e))) for e in comp)
+            for comp in nx.biconnected_component_edges(g)
+        }
+        ours = {
+            frozenset(frozenset(e) for e in comp)
+            for comp in bcc.components.values()
+        }
+        assert ours == truth
+
+
+class TestCrossEngineConsistency:
+    def test_protocol_and_fast_engine_same_invariants(self):
+        from repro.core.params import ExpanderParams
+        from repro.core.protocol import run_protocol_expander
+        from repro.core.expander import create_expander
+        from repro.graphs.analysis import is_connected
+
+        n = 48
+        params = ExpanderParams.recommended(n, ell=16).with_evolutions(8)
+        for seed in (0, 1):
+            proto = run_protocol_expander(
+                G.cycle_graph(n), params=params, rng=np.random.default_rng(seed)
+            )
+            fast = create_expander(
+                G.cycle_graph(n), params=params, rng=np.random.default_rng(seed)
+            )
+            for graph in (proto.final_graph, fast.final_graph):
+                assert graph.is_lazy()
+                assert graph.is_symmetric()
+                assert is_connected(graph.neighbor_sets())
+            assert proto.metrics.total_drops == 0

@@ -1,0 +1,99 @@
+"""Asynchronous simulation tests (paper footnote 2)."""
+
+import numpy as np
+import pytest
+
+from repro.net.asynchrony import run_with_asynchrony
+from repro.net.message import Message
+from repro.net.network import CapacityPolicy, ProtocolNode
+
+
+class CounterNode(ProtocolNode):
+    """Passes a counter around a ring for a fixed number of laps."""
+
+    def __init__(self, node_id, n, laps):
+        super().__init__(node_id)
+        self.n = n
+        self.remaining = laps * n if node_id == 0 else None
+        self.seen = 0
+        self.done = node_id != 0
+
+    def on_round(self, round_no, inbox):
+        out = []
+        if round_no == 0 and self.node_id == 0:
+            out.append(Message(0, 1 % self.n, "tok", self.remaining - 1))
+            return out
+        for msg in inbox:
+            self.seen += 1
+            if msg.payload > 0:
+                out.append(
+                    Message(self.node_id, (self.node_id + 1) % self.n, "tok", msg.payload - 1)
+                )
+            self.done = True
+        return out
+
+    def is_idle(self):
+        return True  # quiescence = no messages in flight
+
+
+def make_ring(n, laps):
+    return {v: CounterNode(v, n, laps) for v in range(n)}
+
+
+class TestSynchronizer:
+    def test_results_match_synchronous_run(self):
+        from repro.net.network import SyncNetwork
+
+        sync_nodes = make_ring(6, laps=2)
+        net = SyncNetwork(sync_nodes, CapacityPolicy.unbounded(), np.random.default_rng(0))
+        net.run(max_rounds=50)
+
+        async_nodes = make_ring(6, laps=2)
+        report, _net = run_with_asynchrony(
+            async_nodes,
+            CapacityPolicy.unbounded(),
+            np.random.default_rng(0),
+            max_delay=5,
+            max_rounds=50,
+        )
+        for v in range(6):
+            assert async_nodes[v].seen == sync_nodes[v].seen
+
+    def test_elapsed_time_is_rounds_times_delay(self):
+        report, _ = run_with_asynchrony(
+            make_ring(4, laps=1),
+            CapacityPolicy.unbounded(),
+            np.random.default_rng(1),
+            max_delay=7,
+            max_rounds=30,
+        )
+        assert report.elapsed_time_units == report.logical_rounds * 7
+        assert report.dilation == 7.0
+
+    def test_observed_delay_bounded(self):
+        report, _ = run_with_asynchrony(
+            make_ring(5, laps=2),
+            CapacityPolicy.unbounded(),
+            np.random.default_rng(2),
+            max_delay=4,
+            max_rounds=40,
+        )
+        assert 1 <= report.observed_max_delay <= 4
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            run_with_asynchrony(
+                make_ring(3, laps=1),
+                CapacityPolicy.unbounded(),
+                np.random.default_rng(3),
+                max_delay=0,
+                max_rounds=5,
+            )
+
+    def test_dilation_of_empty_run(self):
+        from repro.net.asynchrony import AsyncReport
+
+        report = AsyncReport(
+            logical_rounds=0, max_delay=3, elapsed_time_units=0, observed_max_delay=0
+        )
+        assert report.dilation == 0.0

@@ -1,0 +1,44 @@
+"""Hybrid-model ledger accounting tests."""
+
+import pytest
+
+from repro.net.hybrid import HybridLedger
+
+
+class TestHybridLedger:
+    def test_charge_and_totals(self):
+        ledger = HybridLedger()
+        ledger.charge("a", local_rounds=3, global_rounds=5, global_capacity=10)
+        ledger.charge("b", local_rounds=7, global_rounds=2, global_capacity=4)
+        # Per-phase cost is max(local, global): 5 + 7.
+        assert ledger.total_rounds == 12
+        assert ledger.max_global_capacity == 10
+
+    def test_merge_with_prefix(self):
+        inner = HybridLedger()
+        inner.charge("x", global_rounds=4)
+        outer = HybridLedger()
+        outer.charge("setup", local_rounds=1)
+        outer.merge(inner, prefix="sub/")
+        names = [name for name, *_ in outer.phases]
+        assert names == ["setup", "sub/x"]
+        assert outer.total_rounds == 5
+
+    def test_negative_charge_rejected(self):
+        ledger = HybridLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("bad", local_rounds=-1)
+
+    def test_summary(self):
+        ledger = HybridLedger()
+        ledger.charge("only", global_rounds=3, global_capacity=9)
+        assert ledger.summary() == {
+            "phases": 1,
+            "total_rounds": 3,
+            "max_global_capacity": 9,
+        }
+
+    def test_empty_ledger(self):
+        ledger = HybridLedger()
+        assert ledger.total_rounds == 0
+        assert ledger.max_global_capacity == 0

@@ -1,0 +1,121 @@
+"""Synchronous network simulator tests: delivery, capacity, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.net.message import Message
+from repro.net.network import CapacityPolicy, ProtocolNode, SyncNetwork
+
+
+class EchoNode(ProtocolNode):
+    """Sends one message to a fixed target in round 0; records inbox."""
+
+    def __init__(self, node_id, target=None, payloads=1):
+        super().__init__(node_id)
+        self.target = target
+        self.payloads = payloads
+        self.received: list[Message] = []
+        self.done = False
+
+    def on_round(self, round_no, inbox):
+        self.received.extend(inbox)
+        if round_no == 0 and self.target is not None:
+            self.done = True
+            return [
+                Message(self.node_id, self.target, "ping", k)
+                for k in range(self.payloads)
+            ]
+        self.done = True
+        return []
+
+    def is_idle(self):
+        return self.done
+
+
+def build_network(nodes, capacity=None, seed=0):
+    capacity = capacity or CapacityPolicy.unbounded()
+    return SyncNetwork(nodes, capacity, np.random.default_rng(seed))
+
+
+class TestDelivery:
+    def test_message_arrives_next_round(self):
+        nodes = {0: EchoNode(0, target=1), 1: EchoNode(1)}
+        net = build_network(nodes)
+        net.run_round()
+        assert nodes[1].received == []
+        net.run_round()
+        assert len(nodes[1].received) == 1
+        assert nodes[1].received[0].kind == "ping"
+
+    def test_forged_sender_rejected(self):
+        class Forger(ProtocolNode):
+            def on_round(self, round_no, inbox):
+                return [Message(99, 1, "fake")]
+
+        net = build_network({0: Forger(0), 1: EchoNode(1)})
+        with pytest.raises(ValueError, match="forge"):
+            net.run_round()
+
+    def test_unknown_receiver_rejected(self):
+        net = build_network({0: EchoNode(0, target=42)})
+        with pytest.raises(KeyError):
+            net.run_round()
+
+    def test_self_messages_bypass_network(self):
+        nodes = {0: EchoNode(0, target=0, payloads=5)}
+        net = build_network(nodes, capacity=CapacityPolicy(max_send=1, max_receive=1))
+        net.run_round()
+        net.run_round()
+        assert len(nodes[0].received) == 5  # no cap applied to self-sends
+        assert net.metrics.total_messages == 0
+
+
+class TestCapacity:
+    def test_send_cap_drops(self):
+        nodes = {0: EchoNode(0, target=1, payloads=10), 1: EchoNode(1)}
+        net = build_network(nodes, capacity=CapacityPolicy(max_send=3, max_receive=None))
+        net.run_round()
+        net.run_round()
+        assert len(nodes[1].received) == 3
+        assert net.metrics.send_drops == 7
+
+    def test_receive_cap_drops(self):
+        nodes = {
+            0: EchoNode(0, target=2, payloads=4),
+            1: EchoNode(1, target=2, payloads=4),
+            2: EchoNode(2),
+        }
+        net = build_network(nodes, capacity=CapacityPolicy(max_send=None, max_receive=5))
+        net.run_round()
+        net.run_round()
+        assert len(nodes[2].received) == 5
+        assert net.metrics.receive_drops == 3
+
+    def test_ncc0_policy_scales_with_delta(self):
+        pol = CapacityPolicy.ncc0(100, delta=48)
+        assert pol.max_send == 48
+        assert pol.max_receive == 48
+
+
+class TestMetrics:
+    def test_totals_and_peaks(self):
+        nodes = {0: EchoNode(0, target=1, payloads=4), 1: EchoNode(1)}
+        net = build_network(nodes)
+        metrics = net.run(max_rounds=5)
+        assert metrics.total_messages == 4
+        assert metrics.max_sent_per_round == 4
+        assert metrics.max_received_per_round == 4
+        assert metrics.sent_per_node[0] == 4
+        assert metrics.received_per_node[1] == 4
+
+    def test_run_stops_when_idle(self):
+        nodes = {0: EchoNode(0, target=1), 1: EchoNode(1)}
+        net = build_network(nodes)
+        metrics = net.run(max_rounds=50)
+        assert metrics.rounds <= 3
+
+    def test_stop_when_predicate(self):
+        nodes = {0: EchoNode(0, target=1, payloads=2), 1: EchoNode(1)}
+        net = build_network(nodes)
+        net.run(max_rounds=50, stop_when=lambda: True)
+        assert net.metrics.rounds == 1

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.analysis import (
+    adjacency_sets,
+    bfs_distances,
+    connected_components,
+    diameter,
+    is_connected,
+)
+from repro.graphs.portgraph import PortGraph
+from repro.graphs.rmq import SparseTable
+from repro.graphs.unionfind import UnionFind
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_edges=60):
+    """Random undirected simple graphs as (n, edges)."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    )
+    raw = draw(st.lists(pairs, max_size=max_edges))
+    edges = {(min(a, b), max(a, b)) for a, b in raw if a != b}
+    return n, sorted(edges)
+
+
+def as_adj(n, edges):
+    adj = [set() for _ in range(n)]
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    return adj
+
+
+class TestComponentsProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_nodes(self, ne):
+        n, edges = ne
+        comps = connected_components(as_adj(n, edges))
+        flat = sorted(v for comp in comps for v in comp)
+        assert flat == list(range(n))
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_components_agree_with_unionfind(self, ne):
+        n, edges = ne
+        uf = UnionFind(n)
+        for a, b in edges:
+            uf.union(a, b)
+        ours = {tuple(c) for c in connected_components(as_adj(n, edges))}
+        theirs = {tuple(sorted(g)) for g in uf.groups().values()}
+        assert ours == theirs
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_distances_satisfy_triangle_step(self, ne):
+        n, edges = ne
+        adj = as_adj(n, edges)
+        dist = bfs_distances(adj, 0)
+        for a, b in edges:
+            if dist[a] >= 0 and dist[b] >= 0:
+                assert abs(dist[a] - dist[b]) <= 1
+
+
+class TestDiameterProperties:
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_diameter_bounds(self, ne):
+        n, edges = ne
+        adj = as_adj(n, edges)
+        if not is_connected(adj):
+            return
+        d = diameter(adj)
+        assert 0 <= d <= n - 1
+        if len(edges) == n * (n - 1) // 2 and n > 1:
+            assert d == 1
+
+
+class TestPortGraphProperties:
+    @given(edge_lists(max_n=12, max_edges=20), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_from_edge_multiset_always_symmetric_and_regular(self, ne, extra):
+        n, edges = ne
+        if not edges:
+            return
+        delta = 8 * (1 + extra)
+        counts = np.zeros(n, dtype=int)
+        kept = []
+        for a, b in edges:
+            if counts[a] < delta // 2 and counts[b] < delta // 2:
+                counts[a] += 1
+                counts[b] += 1
+                kept.append((a, b))
+        if not kept:
+            return
+        ends = np.array(kept)
+        pg = PortGraph.from_edge_multiset(
+            n=n, delta=delta, endpoints_a=ends[:, 0], endpoints_b=ends[:, 1]
+        )
+        assert pg.is_symmetric()
+        assert pg.ports.shape == (n, delta)
+        assert (pg.real_degree() == counts).all()
+
+    @given(edge_lists(max_n=10, max_edges=16))
+    @settings(max_examples=30, deadline=None)
+    def test_walk_matrix_doubly_stochastic(self, ne):
+        n, edges = ne
+        if not edges:
+            return
+        ends = np.array(edges)
+        pg = PortGraph.from_edge_multiset(
+            n=n, delta=8 * n, endpoints_a=ends[:, 0], endpoints_b=ends[:, 1]
+        )
+        mat = pg.walk_matrix()
+        assert np.allclose(mat.sum(axis=0), 1.0)
+        assert np.allclose(mat.sum(axis=1), 1.0)
+
+
+class TestRMQProperties:
+    @given(
+        st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rmq_matches_bruteforce(self, values, data):
+        arr = np.array(values)
+        table = SparseTable(arr, op="min")
+        lo = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+        hi = data.draw(st.integers(min_value=lo + 1, max_value=len(values)))
+        assert table.query(lo, hi) == arr[lo:hi].min()
+
+
+class TestUnionFindProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(
+            st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=80
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_find_is_canonical(self, n, unions):
+        uf = UnionFind(n)
+        for a, b in unions:
+            uf.union(a % n, b % n)
+        # find is idempotent and consistent within groups.
+        for members in uf.groups().values():
+            reps = {uf.find(m) for m in members}
+            assert len(reps) == 1

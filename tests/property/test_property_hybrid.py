@@ -1,0 +1,112 @@
+"""Property-based tests for the hybrid-model algorithms.
+
+Random graphs in, validated invariants out: spanner connectivity, MIS
+legality, spanning-tree validity, biconnectivity vs networkx.  These are
+the heaviest hypothesis suites, so example counts stay modest.
+"""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.analysis import adjacency_sets, connected_components, is_connected
+from repro.hybrid.biconnectivity import biconnected_components_hybrid
+from repro.hybrid.degree_reduction import reduce_degree
+from repro.hybrid.mis import metivier_mis, mis_hybrid, verify_mis
+from repro.hybrid.spanner import build_spanner
+from repro.hybrid.rapid_sampling import _pair_tokens
+
+
+@st.composite
+def connected_graphs(draw, min_n=4, max_n=30):
+    """Random connected graph: a random tree plus random extra edges."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for v in range(1, n):
+        g.add_edge(v, draw(st.integers(min_value=0, max_value=v - 1)))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=2 * n,
+        )
+    )
+    g.add_edges_from((a, b) for a, b in extra if a != b)
+    return g
+
+
+class TestSpannerProperties:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_spanner_connected_and_subgraph(self, g, seed):
+        rng = np.random.default_rng(seed)
+        sp = build_spanner(g, rng)
+        adj = adjacency_sets(g)
+        assert is_connected(sp.undirected_adjacency())
+        for v, targets in enumerate(sp.out_edges):
+            assert targets <= adj[v]
+
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_preserves_components(self, g, seed):
+        rng = np.random.default_rng(seed)
+        red = reduce_degree(build_spanner(g, rng))
+        ours = connected_components(red.adj)
+        truth = connected_components(adjacency_sets(g))
+        assert sorted(map(tuple, ours)) == sorted(map(tuple, truth))
+
+
+class TestMISProperties:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_hybrid_mis_always_valid(self, g, seed):
+        res = mis_hybrid(g, rng=np.random.default_rng(seed), shatter_rounds=3)
+        assert verify_mis(adjacency_sets(g), res.in_mis)
+
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_metivier_always_valid(self, g, seed):
+        adj = adjacency_sets(g)
+        res = metivier_mis(adj, list(range(len(adj))), np.random.default_rng(seed))
+        assert verify_mis(adj, res.in_mis)
+
+
+class TestBiconnectivityProperties:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx(self, g, seed):
+        res = biconnected_components_hybrid(
+            g, rng=np.random.default_rng(seed), tree_source="bfs"
+        )
+        ours = {
+            frozenset(frozenset(e) for e in comp)
+            for comp in res.components.values()
+        }
+        truth = {
+            frozenset(frozenset(tuple(sorted(e))) for e in comp)
+            for comp in nx.biconnected_component_edges(g)
+        }
+        assert ours == truth
+        assert res.cut_vertices == set(nx.articulation_points(g))
+
+
+class TestPairingProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), max_size=60),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pairing_invariants(self, positions, seed):
+        positions = np.array(positions, dtype=np.int64)
+        reds, blues = _pair_tokens(positions, np.random.default_rng(seed))
+        assert reds.shape == blues.shape
+        # Pairs co-located; indices disjoint; each group pairs floor(k/2).
+        assert (positions[reds] == positions[blues]).all()
+        used = np.concatenate([reds, blues])
+        assert len(set(used.tolist())) == used.size
+        counts = np.bincount(positions, minlength=7)
+        red_counts = np.bincount(positions[reds], minlength=7)
+        assert (red_counts == counts // 2).all()

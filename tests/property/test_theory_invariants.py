@@ -1,0 +1,155 @@
+"""Cross-module checks of the paper's supporting lemmas.
+
+These tests validate the *mathematical* facts the analysis rests on,
+using the repository's own measurement tools against each other:
+
+- Lemma 3.13: any connected graph has conductance ``≥ 1/n²``;
+- Lemma 3.14: conductance ``Φ`` implies diameter ``O(Φ⁻¹ log n)``;
+- Lemma 2.2 (Kwok–Lau): powering a lazy graph multiplies its
+  conductance by ``Ω(√ℓ)`` (checked on the exact spectral quantities of
+  small graphs);
+- Cheeger: the exact conductance lies in the spectral sandwich.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.benign import make_benign
+from repro.core.params import ExpanderParams
+from repro.graphs import generators as G
+from repro.graphs.analysis import (
+    adjacency_sets,
+    conductance_exact,
+    diameter,
+    min_vertex_expansion_exact,
+    vertex_expansion_of_set,
+)
+from repro.graphs.portgraph import PortGraph
+from repro.graphs.spectral import cheeger_bounds, spectral_gap
+
+
+def lazy_pg(graph, delta=None, lam=2):
+    if delta is None:
+        dmax = max(d for _, d in graph.degree)
+        delta = max(32, ((4 * lam * dmax + 7) // 8) * 8)
+    params = ExpanderParams(delta=delta, lam=lam, ell=4, num_evolutions=1)
+    pg, _ = make_benign(graph, params)
+    return pg
+
+
+class TestLemma313MinimumConductance:
+    @pytest.mark.parametrize(
+        "make", [lambda: G.line_graph(10), lambda: G.cycle_graph(12),
+                 lambda: G.barbell(5), lambda: G.star_graph(11)],
+        ids=["line", "cycle", "barbell", "star"],
+    )
+    def test_connected_graphs_exceed_one_over_n_squared(self, make):
+        g = make()
+        pg = lazy_pg(g)
+        n = pg.n
+        phi = conductance_exact(pg, max_n=14)
+        assert phi >= 1 / n**2
+
+
+class TestLemma314ConductanceDiameter:
+    @pytest.mark.parametrize(
+        "make", [lambda: G.cycle_graph(14), lambda: G.grid_2d(3, 4),
+                 lambda: G.barbell(6), lambda: G.complete_graph(10)],
+        ids=["cycle", "grid", "barbell", "clique"],
+    )
+    def test_diameter_bounded_by_inverse_conductance(self, make):
+        g = make()
+        pg = lazy_pg(g)
+        phi = conductance_exact(pg, max_n=14)
+        diam = diameter(pg.neighbor_sets())
+        n = pg.n
+        # Lemma 3.14: diam = O(log n / Phi); constant calibrated to 2.
+        assert diam <= 2 * math.log(n) / phi + 1
+
+
+class TestKwokLauPowering:
+    def test_powered_cycle_gains_conductance(self):
+        # Compare the spectral gap of G and of G^ell (walk matrix power):
+        # Kwok-Lau predicts Phi_ell >= sqrt(ell)/40 * Phi; spectrally,
+        # 1 - lambda2^ell grows superlinearly while Phi is small.
+        pg = lazy_pg(G.cycle_graph(16))
+        mat = pg.walk_matrix()
+        lam2 = 1 - spectral_gap(pg)
+        for ell in (4, 16):
+            gap_ell = 1 - lam2**ell
+            gap_1 = 1 - lam2
+            # Powered gap at least sqrt(ell)/2 times the base gap (the
+            # spectral analogue of Lemma 2.2 at small gaps).
+            assert gap_ell >= (math.sqrt(ell) / 2) * gap_1
+
+    def test_conductance_of_power_never_decreases(self):
+        pg = lazy_pg(G.cycle_graph(12))
+        base = conductance_exact(pg, max_n=12)
+        mat = np.linalg.matrix_power(pg.walk_matrix(), 4)
+        # Phi_4(S) via the walk-matrix mass leaving each subset.
+        from itertools import combinations
+
+        worst = 1.0
+        n = pg.n
+        for size in range(1, n // 2 + 1):
+            for subset in combinations(range(n), size):
+                inside = list(subset)
+                outside = [v for v in range(n) if v not in subset]
+                mass_out = mat[np.ix_(inside, outside)].sum() / len(inside)
+                worst = min(worst, mass_out)
+        assert worst >= base - 1e-12
+
+
+class TestCheegerSandwichOnEvolutions:
+    def test_exact_conductance_within_bounds_after_evolution(self):
+        from repro.core.expander import ExpanderBuilder
+
+        params = ExpanderParams(delta=32, lam=2, ell=8, num_evolutions=2)
+        base, _ = make_benign(G.cycle_graph(12), params)
+        builder = ExpanderBuilder(base, params, np.random.default_rng(0))
+        builder.run()
+        pg = builder.current
+        phi = conductance_exact(pg, max_n=12)
+        lo, hi = cheeger_bounds(spectral_gap(pg))
+        assert lo - 1e-9 <= phi <= hi + 1e-9
+
+
+class TestVertexExpansion:
+    def test_of_set_matches_hand_count(self):
+        adj = adjacency_sets(G.star_graph(6))
+        assert vertex_expansion_of_set(adj, {1, 2}) == pytest.approx(0.5)
+        assert vertex_expansion_of_set(adj, {0}) == pytest.approx(5.0)
+
+    def test_clique_has_maximal_expansion(self):
+        adj = adjacency_sets(G.complete_graph(8))
+        assert min_vertex_expansion_exact(adj) == pytest.approx(1.0)
+
+    def test_line_has_vanishing_expansion(self):
+        adj = adjacency_sets(G.line_graph(12))
+        assert min_vertex_expansion_exact(adj) == pytest.approx(1 / 6)
+
+    def test_overlay_beats_input_expansion(self):
+        # The expander overlay's sampled vertex expansion dominates the
+        # ring's worst set (the robustness mechanism of §5).
+        from repro.core.pipeline import build_well_formed_tree
+
+        n = 64
+        overlay = build_well_formed_tree(
+            G.cycle_graph(n), rng=np.random.default_rng(1)
+        ).final_graph()
+        adj = overlay.neighbor_sets()
+        ring = adjacency_sets(G.cycle_graph(n))
+        # Contiguous arcs are the ring's worst sets.
+        arc = set(range(n // 2))
+        assert vertex_expansion_of_set(adj, arc) > 10 * vertex_expansion_of_set(
+            ring, arc
+        )
+
+    def test_validation(self):
+        adj = adjacency_sets(G.cycle_graph(6))
+        with pytest.raises(ValueError):
+            vertex_expansion_of_set(adj, set())
+        with pytest.raises(ValueError):
+            min_vertex_expansion_exact(adjacency_sets(G.cycle_graph(30)))
