@@ -1,0 +1,185 @@
+"""S1 — Engine scaling: legacy per-message vs. vectorized batched delivery.
+
+The two network stacks run the *same* NCC0 protocol (one ``CreateExpander``
+evolution, calibrated parameters):
+
+- **legacy**: object messages through per-message Python loops — the
+  seed's engine, kept as the differential-testing oracle;
+- **vectorized**: :class:`BatchProtocolNode` arrays through the flat-buffer
+  delivery core of ``SyncNetwork(engine="vectorized")``.
+
+Measured here: wall-clock per engine across sizes (vectorized-only at the
+largest sizes the legacy engine cannot reach in reasonable time), the
+speedup, and — because speed without semantics is meaningless — an exact
+cross-engine equivalence check at a differential-testable size.
+
+Shape assertions (full mode): at ``n = 10⁴`` the vectorized engine is
+≥ 5× faster than the legacy engine on the same batch nodes (the
+engine-controlled comparison), and ≥ 3× faster than the full seed stack
+(object nodes + legacy delivery).
+
+Run standalone:  ``PYTHONPATH=src python benchmarks/bench_s1_engine_scaling.py``
+(``--smoke`` for the ~30 s CI variant, ``--engine`` to restrict scaling rows).
+"""
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.batch_protocol import run_batch_expander
+from repro.core.params import ExpanderParams
+from repro.core.protocol import run_protocol_expander
+from repro.experiments.harness import Table, add_engine_argument, select_engine
+from repro.graphs import generators as G
+
+FULL_SIZES = (1_000, 5_000, 10_000)
+FULL_VECTORIZED_ONLY = (50_000,)
+SMOKE_SIZES = (500, 2_000)
+ASSERT_N = 10_000
+
+
+def _params(n: int) -> ExpanderParams:
+    return ExpanderParams.recommended(n, ell=16).with_evolutions(1)
+
+
+def _time(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_equivalence(n: int = 200) -> None:
+    """Exact cross-engine agreement on a differential-testable size."""
+    params = _params(n)
+    g = G.line_graph(n)
+    vec = run_batch_expander(g, params=params, rng=np.random.default_rng(n))
+    leg = run_batch_expander(
+        g, params=params, rng=np.random.default_rng(n), engine="legacy"
+    )
+    assert np.array_equal(vec.final_graph.ports, leg.final_graph.ports), (
+        "engines disagree on the final graph"
+    )
+    assert vec.metrics.as_dict() == leg.metrics.as_dict(), "engines disagree on metrics"
+
+
+def run_experiment(smoke: bool, engine_filter: str | None = None):
+    check_equivalence()
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    vec_only = () if smoke else FULL_VECTORIZED_ONLY
+
+    table = Table(
+        "S1: round-engine scaling (one CreateExpander evolution)",
+        ["n", "delta", "stack", "engine", "seconds", "msgs/sec"],
+    )
+    rows = {}
+
+    def record(n, stack, engine, seconds, total_messages):
+        params = _params(n)
+        rate = total_messages / seconds if seconds > 0 else float("inf")
+        table.add(n, params.delta, stack, engine, round(seconds, 3), int(rate))
+        rows[(n, stack, engine)] = seconds
+
+    for n in sizes:
+        params = _params(n)
+        g = G.line_graph(n)
+        repeats = 1 if smoke else 2
+
+        if engine_filter in (None, "vectorized"):
+            result = run_batch_expander(g, params=params, rng=np.random.default_rng(1))
+            seconds = _time(
+                lambda: run_batch_expander(g, params=params, rng=np.random.default_rng(1)),
+                repeats,
+            )
+            record(n, "batch-nodes", "vectorized", seconds, result.metrics.total_messages)
+
+        if engine_filter in (None, "legacy"):
+            result = run_protocol_expander(
+                g, params=params, rng=np.random.default_rng(1), engine="legacy"
+            )
+            seconds = _time(
+                lambda: run_protocol_expander(
+                    g, params=params, rng=np.random.default_rng(1), engine="legacy"
+                ),
+                repeats,
+            )
+            record(n, "object-nodes", "legacy", seconds, result.metrics.total_messages)
+
+            if n == ASSERT_N:
+                # Engine-controlled comparison: identical batch nodes, only
+                # the delivery engine differs.
+                result = run_batch_expander(
+                    g, params=params, rng=np.random.default_rng(1), engine="legacy"
+                )
+                seconds = _time(
+                    lambda: run_batch_expander(
+                        g, params=params, rng=np.random.default_rng(1), engine="legacy"
+                    ),
+                    repeats,
+                )
+                record(n, "batch-nodes", "legacy", seconds, result.metrics.total_messages)
+
+    for n in vec_only:
+        params = _params(n)
+        g = G.line_graph(n)
+        result = run_batch_expander(g, params=params, rng=np.random.default_rng(1))
+        seconds = _time(
+            lambda: run_batch_expander(g, params=params, rng=np.random.default_rng(1)),
+            repeats=1,
+        )
+        record(n, "batch-nodes", "vectorized", seconds, result.metrics.total_messages)
+
+    table.show()
+
+    if not smoke and engine_filter is None:
+        t_vec = rows[(ASSERT_N, "batch-nodes", "vectorized")]
+        t_leg_same_nodes = rows[(ASSERT_N, "batch-nodes", "legacy")]
+        t_leg_seed_stack = rows[(ASSERT_N, "object-nodes", "legacy")]
+        engine_speedup = t_leg_same_nodes / t_vec
+        stack_speedup = t_leg_seed_stack / t_vec
+        print(
+            f"n={ASSERT_N}: engine-controlled speedup {engine_speedup:.1f}x, "
+            f"full-stack speedup {stack_speedup:.1f}x"
+        )
+        assert engine_speedup >= 5.0, (
+            f"vectorized engine only {engine_speedup:.1f}x faster than legacy "
+            f"on identical nodes at n={ASSERT_N} (need >= 5x)"
+        )
+        assert stack_speedup >= 3.0, (
+            f"batched stack only {stack_speedup:.1f}x faster than the seed "
+            f"stack at n={ASSERT_N} (need >= 3x)"
+        )
+    return rows
+
+
+def bench_s1_engine_scaling(benchmark):
+    from _common import run_once
+
+    run_once(benchmark, lambda: run_experiment(smoke=False))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="~30s CI variant: small sizes, no asserts"
+    )
+    add_engine_argument(parser)
+    args = parser.parse_args(argv)
+    # Filter only when the user chose an engine (CLI flag or REPRO_ENGINE
+    # env var — select_engine validates both and fails loudly on typos).
+    engine_filter = (
+        select_engine(args.engine)
+        if args.engine or os.environ.get("REPRO_ENGINE")
+        else None
+    )
+    run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

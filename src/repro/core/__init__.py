@@ -14,8 +14,10 @@ The public surface:
 """
 
 from repro.core.params import ExpanderParams
+from repro.core.batch_protocol import BatchExpanderNode, run_batch_expander
 from repro.core.benign import BenignReport, check_benign, make_benign
-from repro.core.walks import WalkResult, run_token_walks
+from repro.core.protocol import ExpanderNode, ProtocolRunResult, run_protocol_expander
+from repro.core.walks import WalkResult, run_token_walks, sample_port_targets
 from repro.core.expander import (
     EvolutionStats,
     ExpanderBuilder,
@@ -47,11 +49,17 @@ from repro.core.topologies import (
 
 __all__ = [
     "ExpanderParams",
+    "BatchExpanderNode",
+    "run_batch_expander",
+    "ExpanderNode",
+    "ProtocolRunResult",
+    "run_protocol_expander",
     "BenignReport",
     "check_benign",
     "make_benign",
     "WalkResult",
     "run_token_walks",
+    "sample_port_targets",
     "EvolutionStats",
     "ExpanderBuilder",
     "ExpanderResult",

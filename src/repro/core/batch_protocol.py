@@ -1,0 +1,180 @@
+"""Batched message-level ``CreateExpander`` — array nodes on the NCC0 net.
+
+This is the same protocol as :mod:`repro.core.protocol` (§2.1 executed
+message-by-message under real capacity enforcement), but every node is a
+:class:`repro.net.network.BatchProtocolNode`: a round's tokens leave a
+node as one :class:`repro.net.batch.MessageBatch` (receiver + origin
+arrays) instead of per-token ``Message`` objects, and the vectorized
+delivery engine moves the whole round through flat numpy buffers.
+
+Semantics are identical to the object engine — same round schedule
+(``ℓ`` forwarding rounds, one acceptance round, one reply/rebuild round
+per evolution), same per-node randomness shape (one uniform port draw per
+resident token, one uniform acceptance subset per over-full node), same
+NCC0 drop behaviour.  What changes is the constant factor: no Python
+object per message, which is what makes ``n ≈ 5·10⁴`` protocol runs
+practical (see ``benchmarks/bench_s1_engine_scaling.py``).
+
+The token-forwarding inner loop is shared with the fast engine:
+:func:`repro.core.walks.sample_port_targets`, in row mode.  (Row mode
+draws ``⌊uniform·Δ⌋`` rather than matrix mode's ``rng.integers`` — see
+the function's docstring for why the streams intentionally differ.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ExpanderParams
+from repro.core.protocol import ProtocolRunResult, run_expander_on_network
+from repro.core.walks import sample_port_targets
+from repro.net.batch import KINDS, MessageBatch
+from repro.net.network import BatchProtocolNode, CapacityPolicy
+
+__all__ = ["BatchExpanderNode", "run_batch_expander"]
+
+TOKEN = KINDS.code("token")
+ACCEPT = KINDS.code("accept")
+
+_NO_PAYLOADS = np.empty(0, dtype=np.int64)
+
+
+class BatchExpanderNode(BatchProtocolNode):
+    """One NCC0 node executing ``CreateExpander`` on message arrays.
+
+    State per evolution: the node's current port row (partner ids, own id
+    for self-loops) as an ``int64`` array, plus the partner ids recorded
+    for the next evolution graph.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: list[int],
+        params: ExpanderParams,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(node_id)
+        self.params = params
+        self.rng = rng
+        # MakeBenign, locally: copy each incident edge Λ times, pad with
+        # self-loops to degree Δ (laziness follows from 2·Λ·d ≤ Δ).
+        copied = np.repeat(np.sort(np.asarray(neighbors, dtype=np.int64)), params.lam)
+        if copied.shape[0] > params.delta // 2:
+            raise ValueError(
+                f"node {node_id}: Λ·deg = {copied.shape[0]} exceeds "
+                f"Δ/2 = {params.delta // 2}"
+            )
+        self.ports = np.concatenate(
+            [copied, np.full(params.delta - copied.shape[0], node_id, dtype=np.int64)]
+        )
+        self._next_origin_edges: list[np.ndarray] = []  # via own accepted tokens
+        self._next_accept_edges: list[np.ndarray] = []  # via accepted foreign tokens
+        self.evolutions_done = 0
+        self.accepted_origins: list[np.ndarray] = []  # per-acceptance log
+        # Hot-path constants (attribute lookups beat property calls at
+        # n·rounds call volume).
+        self._span = params.ell + 2
+        self._ell = params.ell
+        self._delta = params.delta
+        self._accept_cap = params.accept_cap
+        self._num_evolutions = params.num_evolutions
+        self._own_tokens = np.full(params.tokens_per_node, node_id, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _forward(self, origins: np.ndarray) -> MessageBatch | None:
+        """Send each token along a uniformly random port (one batch)."""
+        if origins.shape[0] == 0:
+            return None
+        _, targets = sample_port_targets(self.ports, self.rng, count=origins.shape[0])
+        return MessageBatch._raw(self.node_id, targets, TOKEN, origins)
+
+    def _filter(self, inbox: MessageBatch, want: int) -> np.ndarray:
+        """Payloads of the inbox messages of kind ``want``."""
+        kinds = inbox.kinds
+        if type(kinds) is np.ndarray:
+            return inbox.payloads[kinds == want]
+        return inbox.payloads if kinds == want else _NO_PAYLOADS
+
+    def on_round_batch(self, round_no: int, inbox: MessageBatch) -> MessageBatch | None:
+        evolution, step = divmod(round_no, self._span)
+        if evolution >= self._num_evolutions:
+            return None
+
+        if step == 0:
+            # Launch Δ/8 own tokens (a fresh evolution starts).
+            return self._forward(self._own_tokens)
+
+        if step < self._ell:
+            return self._forward(self._filter(inbox, TOKEN))
+
+        if step == self._ell:
+            # Acceptance: answer up to 3Δ/8 tokens, chosen uniformly.
+            tokens = self._filter(inbox, TOKEN)
+            if tokens.shape[0] > self._accept_cap:
+                chosen = self.rng.choice(
+                    tokens.shape[0], size=self._accept_cap, replace=False
+                )
+                tokens = tokens[np.sort(chosen)]
+            if tokens.shape[0] == 0:
+                return None
+            self._next_accept_edges.append(tokens)
+            # Copy for the log: ``tokens`` may be a view into the engine's
+            # round buffer, which must not stay pinned for the whole run.
+            self.accepted_origins.append(tokens.copy())
+            return MessageBatch._raw(
+                self.node_id,
+                tokens,
+                ACCEPT,
+                np.full(tokens.shape[0], self.node_id, dtype=np.int64),
+            )
+
+        # step == ell + 1: collect replies, rebuild ports, pad self-loops.
+        replies = self._filter(inbox, ACCEPT)
+        if replies.shape[0]:
+            self._next_origin_edges.append(replies)
+        partners = (
+            np.concatenate(self._next_origin_edges + self._next_accept_edges)
+            if self._next_origin_edges or self._next_accept_edges
+            else np.empty(0, dtype=np.int64)
+        )
+        if partners.shape[0] > self._delta:
+            raise AssertionError(
+                f"node {self.node_id} assembled {partners.shape[0]} ports > Δ"
+            )
+        self.ports = np.concatenate(
+            [
+                partners,
+                np.full(self._delta - partners.shape[0], self.node_id, dtype=np.int64),
+            ]
+        )
+        self._next_origin_edges = []
+        self._next_accept_edges = []
+        self.evolutions_done = evolution + 1
+        return None
+
+    def is_idle(self) -> bool:
+        return self.evolutions_done >= self.params.num_evolutions
+
+
+def run_batch_expander(
+    graph,
+    params: ExpanderParams | None = None,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    engine: str = "vectorized",
+) -> ProtocolRunResult:
+    """Execute ``CreateExpander`` with batched nodes on ``graph``.
+
+    Drop-in counterpart of
+    :func:`repro.core.protocol.run_protocol_expander`: same inputs, same
+    :class:`ProtocolRunResult`, same round schedule and capacity policy —
+    only the message representation (arrays vs. objects) differs.
+    ``engine`` selects the network delivery engine; running batch nodes on
+    the ``"legacy"`` engine is supported (messages are materialised at the
+    network boundary) and is how the differential tests cross-check the
+    vectorized delivery path.
+    """
+    return run_expander_on_network(
+        BatchExpanderNode, graph, params, rng, capacity, engine
+    )

@@ -37,6 +37,7 @@ from repro.core.benign import BaseEdge, make_benign
 from repro.core.params import ExpanderParams
 from repro.core.walks import run_token_walks
 from repro.graphs.portgraph import PortGraph
+from repro.net.vectorops import segmented_keep_indices
 from repro.graphs.spectral import spectral_gap
 
 __all__ = [
@@ -242,20 +243,11 @@ def _accept_tokens(
     """Indices of tokens accepted under the per-endpoint cap.
 
     Every endpoint keeps at most ``cap`` tokens, chosen uniformly without
-    replacement among those it received — implemented by random-permuting
-    all tokens and keeping the first ``cap`` of each endpoint group.
+    replacement among those it received.  Delegates to the shared
+    segment-truncation primitive so the acceptance step and the network
+    engines' capacity enforcement follow one RNG discipline.
     """
-    m = endpoints.shape[0]
-    if m == 0:
-        return np.empty(0, dtype=np.int64)
-    perm = rng.permutation(m)
-    shuffled = endpoints[perm]
-    order = np.argsort(shuffled, kind="stable")
-    sorted_ep = shuffled[order]
-    group_start = np.searchsorted(sorted_ep, sorted_ep, side="left")
-    rank_in_group = np.arange(m) - group_start
-    keep = rank_in_group < cap
-    return np.sort(perm[order[keep]])
+    return segmented_keep_indices(endpoints, cap, rng)
 
 
 def create_expander(

@@ -34,7 +34,14 @@ from repro.net.message import Message
 from repro.net.network import CapacityPolicy, NetworkMetrics, ProtocolNode, SyncNetwork
 from repro.graphs.portgraph import PortGraph
 
-__all__ = ["ExpanderNode", "ProtocolRunResult", "run_protocol_expander"]
+__all__ = [
+    "ExpanderNode",
+    "ProtocolRunResult",
+    "run_protocol_expander",
+    "run_expander_on_network",
+    "prepare_network_inputs",
+    "collect_final_graph",
+]
 
 
 class ExpanderNode(ProtocolNode):
@@ -138,22 +145,18 @@ class ProtocolRunResult:
     rounds: int
 
 
-def run_protocol_expander(
+def prepare_network_inputs(
     graph,
-    params: ExpanderParams | None = None,
-    rng: np.random.Generator | None = None,
-    capacity: CapacityPolicy | None = None,
-) -> ProtocolRunResult:
-    """Execute ``CreateExpander`` message-by-message on ``graph``.
+    params: ExpanderParams | None,
+    capacity: CapacityPolicy | None,
+) -> tuple[int, list[list[int]], ExpanderParams, CapacityPolicy]:
+    """Shared preparation for the network-driven expander runners.
 
-    ``graph`` is an undirected networkx graph (a directed knowledge graph
-    should be bidirected first — one extra round, which
-    :func:`repro.core.pipeline.build_well_formed_tree` charges).  Returns
-    the final evolution graph assembled from the acceptors' edge records,
-    plus full network metrics.
+    Computes node count, adjacency lists, calibrated parameters, and the
+    NCC0 capacity policy from an undirected networkx graph.  Used by both
+    the per-message runner below and the batched runner in
+    :mod:`repro.core.batch_protocol`.
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
     from repro.core.benign import undirected_edge_list
 
     n, edges = undirected_edge_list(graph)
@@ -170,29 +173,76 @@ def run_protocol_expander(
     for a, b in edges:
         neighbors[a].append(b)
         neighbors[b].append(a)
+    return n, neighbors, params, capacity
 
-    child_rngs = rng.spawn(n + 1)
-    nodes = {
-        v: ExpanderNode(v, neighbors[v], params, child_rngs[v]) for v in range(n)
-    }
-    network = SyncNetwork(nodes, capacity, child_rngs[n])
-    total_rounds = params.num_evolutions * (params.ell + 2)
-    metrics = network.run(max_rounds=total_rounds + 1)
 
-    # The port lists held by the nodes after the last rebuild are the
-    # authoritative final graph.  If an 'accept' reply was dropped by the
-    # network the two endpoints disagree (the acceptor holds the edge, the
-    # origin does not) — exactly the knowledge-graph asymmetry the model
-    # permits; at calibrated parameters no drops occur and the graph is a
-    # symmetric multigraph (asserted by the tests).
-    delta = params.delta
+def collect_final_graph(nodes, n: int, delta: int) -> PortGraph:
+    """Assemble the final evolution graph from the nodes' port lists.
+
+    The port lists held by the nodes after the last rebuild are the
+    authoritative final graph.  If an 'accept' reply was dropped by the
+    network the two endpoints disagree (the acceptor holds the edge, the
+    origin does not) — exactly the knowledge-graph asymmetry the model
+    permits; at calibrated parameters no drops occur and the graph is a
+    symmetric multigraph (asserted by the tests).
+    """
     ports = np.empty((n, delta), dtype=np.int64)
     for v, node in nodes.items():
         ports[v, :] = node.ports
-    final = PortGraph(ports=ports)
+    return PortGraph(ports=ports)
+
+
+def run_expander_on_network(
+    node_factory,
+    graph,
+    params: ExpanderParams | None = None,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    engine: str = "vectorized",
+) -> ProtocolRunResult:
+    """Shared scaffold for network-driven ``CreateExpander`` runs.
+
+    ``node_factory(node_id, neighbors, params, rng)`` builds one protocol
+    node; everything else (parameter calibration, per-node RNG spawning,
+    round budget, final-graph assembly) is identical between the
+    per-message and batched node implementations.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n, neighbors, params, capacity = prepare_network_inputs(graph, params, capacity)
+
+    child_rngs = rng.spawn(n + 1)
+    nodes = {
+        v: node_factory(v, neighbors[v], params, child_rngs[v]) for v in range(n)
+    }
+    network = SyncNetwork(nodes, capacity, child_rngs[n], engine=engine)
+    total_rounds = params.num_evolutions * (params.ell + 2)
+    metrics = network.run(max_rounds=total_rounds + 1)
+
+    final = collect_final_graph(nodes, n, params.delta)
     return ProtocolRunResult(
         final_graph=final,
         metrics=metrics,
         params=params,
         rounds=metrics.rounds,
     )
+
+
+def run_protocol_expander(
+    graph,
+    params: ExpanderParams | None = None,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    engine: str = "vectorized",
+) -> ProtocolRunResult:
+    """Execute ``CreateExpander`` message-by-message on ``graph``.
+
+    ``graph`` is an undirected networkx graph (a directed knowledge graph
+    should be bidirected first — one extra round, which
+    :func:`repro.core.pipeline.build_well_formed_tree` charges).  Returns
+    the final evolution graph assembled from the acceptors' edge records,
+    plus full network metrics.  ``engine`` selects the network delivery
+    engine (``"legacy"`` is the per-message oracle; both engines produce
+    identical executions under the same seed).
+    """
+    return run_expander_on_network(ExpanderNode, graph, params, rng, capacity, engine)

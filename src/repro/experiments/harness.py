@@ -14,11 +14,47 @@ provides the fits the claims are judged by:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Table", "fit_vs_logn", "loglog_slope", "geometric_sizes"]
+__all__ = [
+    "Table",
+    "fit_vs_logn",
+    "loglog_slope",
+    "geometric_sizes",
+    "ENGINE_CHOICES",
+    "select_engine",
+    "add_engine_argument",
+]
+
+#: Delivery engines of :class:`repro.net.network.SyncNetwork` that the
+#: benchmarks can select between (single source of truth: the network).
+from repro.net.network import ENGINES as ENGINE_CHOICES  # noqa: E402
+
+
+def select_engine(cli_value: str | None = None, default: str = "vectorized") -> str:
+    """Resolve the network delivery engine for a benchmark run.
+
+    Precedence: explicit CLI value > ``REPRO_ENGINE`` environment variable
+    > ``default``.  Raises on unknown names so typos fail loudly instead
+    of silently benchmarking the wrong engine.
+    """
+    value = cli_value or os.environ.get("REPRO_ENGINE") or default
+    if value not in ENGINE_CHOICES:
+        raise ValueError(f"engine must be one of {ENGINE_CHOICES}, got {value!r}")
+    return value
+
+
+def add_engine_argument(parser) -> None:
+    """Attach the standard ``--engine`` flag to an argparse parser."""
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default=None,
+        help="network delivery engine (default: REPRO_ENGINE env var or 'vectorized')",
+    )
 
 
 @dataclass

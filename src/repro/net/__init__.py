@@ -13,14 +13,28 @@ Section 4 (CONGEST local edges + capacity-limited global edges).
 """
 
 from repro.net.message import Message
-from repro.net.network import CapacityPolicy, NetworkMetrics, ProtocolNode, SyncNetwork
+from repro.net.batch import KINDS, MessageBatch
+from repro.net.network import (
+    ENGINES,
+    BatchProtocolNode,
+    CapacityPolicy,
+    NetworkMetrics,
+    ProtocolNode,
+    SyncNetwork,
+)
+from repro.net.vectorops import segmented_keep_indices
 from repro.net.hybrid import HybridLedger
 
 __all__ = [
     "Message",
+    "MessageBatch",
+    "KINDS",
     "CapacityPolicy",
     "NetworkMetrics",
     "ProtocolNode",
+    "BatchProtocolNode",
     "SyncNetwork",
+    "ENGINES",
+    "segmented_keep_indices",
     "HybridLedger",
 ]

@@ -81,7 +81,7 @@ def run_with_asynchrony(
         if sent_this_round:
             delays = rng.integers(1, max_delay + 1, size=min(sent_this_round, 4096))
             observed = max(observed, int(delays.max(initial=0)))
-        in_flight = any(network._pending[nid] for nid in network.nodes)
+        in_flight = network.pending_messages() > 0
         if not in_flight and all(node.is_idle() for node in network.nodes.values()):
             break
     report = AsyncReport(

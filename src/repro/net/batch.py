@@ -1,0 +1,175 @@
+"""Array-backed message batches for the vectorized network engine.
+
+A :class:`MessageBatch` is the flat-array counterpart of a list of
+:class:`repro.net.message.Message` objects: four parallel ``int64`` columns
+(sender, receiver, kind code, payload).  Protocol nodes that implement
+:class:`repro.net.network.BatchProtocolNode` exchange batches instead of
+per-message objects, which lets the vectorized engine move a whole round of
+traffic through numpy without ever materialising Python objects.
+
+Design notes
+------------
+- **Kinds are interned.**  Message kinds are short strings ("token",
+  "accept", …); the module-level :data:`KINDS` table maps them to small
+  integer codes so batches stay pure ``int64``.  The table is append-only
+  and process-global — the handful of protocol kinds never collide.
+- **Scalar broadcasting.**  ``senders`` and ``kinds`` may be stored as a
+  scalar when uniform across the batch (the overwhelmingly common case: a
+  node emits one batch of one kind per round).  This keeps per-node
+  construction O(1) python work; ``senders_array()`` etc. materialise full
+  columns on demand.
+- **Payloads are integers.**  A batch payload is a single ``int64`` per
+  message (a node identifier, matching the paper's ``O(log n)``-bit
+  packets).  Object messages with non-integer payloads cannot be delivered
+  to a batch node — the engine raises ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.message import Message
+
+__all__ = ["KindTable", "KINDS", "MessageBatch"]
+
+
+class KindTable:
+    """Bidirectional interning of message-kind strings to int codes."""
+
+    def __init__(self) -> None:
+        self._codes: dict[str, int] = {}
+        self._names: list[str] = []
+
+    def code(self, kind: str) -> int:
+        """Intern ``kind`` and return its stable integer code."""
+        code = self._codes.get(kind)
+        if code is None:
+            code = len(self._names)
+            self._codes[kind] = code
+            self._names.append(kind)
+        return code
+
+    def name(self, code: int) -> str:
+        return self._names[code]
+
+
+#: Process-global kind registry shared by all networks and batches.
+KINDS = KindTable()
+
+
+def _as_column(value, length: int, what: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.int64)
+    if arr.ndim == 0:
+        return np.full(length, int(arr), dtype=np.int64)
+    if arr.shape[0] != length:
+        raise ValueError(f"{what} column has length {arr.shape[0]}, expected {length}")
+    return arr
+
+
+class MessageBatch:
+    """A flat batch of messages: parallel int64 columns.
+
+    ``receivers`` and ``payloads`` are always arrays; ``senders`` and
+    ``kinds`` may be scalars meaning "uniform across the batch".
+    """
+
+    __slots__ = ("senders", "receivers", "kinds", "payloads")
+
+    def __init__(self, senders, receivers, kinds, payloads=None) -> None:
+        self.receivers = np.asarray(receivers, dtype=np.int64)
+        if self.receivers.ndim != 1:
+            raise ValueError("receivers must be a 1-d array")
+        m = self.receivers.shape[0]
+        # Scalars are normalised to python ints so hot-path code can test
+        # ``type(x) is np.ndarray`` to distinguish the broadcast case.
+        self.senders = int(senders) if np.ndim(senders) == 0 else _as_column(senders, m, "senders")
+        if isinstance(kinds, str):
+            kinds = KINDS.code(kinds)
+        self.kinds = int(kinds) if np.ndim(kinds) == 0 else _as_column(kinds, m, "kinds")
+        if payloads is None:
+            payloads = np.zeros(m, dtype=np.int64)
+        self.payloads = _as_column(payloads, m, "payloads")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _raw(cls, senders, receivers, kinds, payloads) -> "MessageBatch":
+        """Unvalidated constructor for engine/protocol hot paths.
+
+        Columns are stored exactly as given (arrays may be views into
+        round buffers; scalars stay scalars) — callers own the invariants
+        the public constructor would otherwise check.
+        """
+        batch = object.__new__(cls)
+        batch.senders = senders
+        batch.receivers = receivers
+        batch.kinds = kinds
+        batch.payloads = payloads
+        return batch
+
+    def __len__(self) -> int:
+        return self.receivers.shape[0]
+
+    def senders_array(self) -> np.ndarray:
+        if type(self.senders) is not np.ndarray:
+            return np.full(len(self), int(self.senders), dtype=np.int64)
+        return self.senders
+
+    def kinds_array(self) -> np.ndarray:
+        if type(self.kinds) is not np.ndarray:
+            return np.full(len(self), int(self.kinds), dtype=np.int64)
+        return self.kinds
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "MessageBatch":
+        """The shared empty batch (treat as immutable)."""
+        return _EMPTY
+
+    @classmethod
+    def concat(cls, batches: list["MessageBatch"]) -> "MessageBatch":
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            np.concatenate([b.senders_array() for b in batches]),
+            np.concatenate([b.receivers for b in batches]),
+            np.concatenate([b.kinds_array() for b in batches]),
+            np.concatenate([b.payloads for b in batches]),
+        )
+
+    @classmethod
+    def from_messages(cls, messages: list[Message]) -> "MessageBatch":
+        """Convert object messages (integer payloads only) to a batch."""
+        m = len(messages)
+        senders = np.empty(m, dtype=np.int64)
+        receivers = np.empty(m, dtype=np.int64)
+        kinds = np.empty(m, dtype=np.int64)
+        payloads = np.empty(m, dtype=np.int64)
+        for i, msg in enumerate(messages):
+            if not isinstance(msg.payload, (int, np.integer)):
+                raise TypeError(
+                    f"batch conversion requires integer payloads, got "
+                    f"{type(msg.payload).__name__} in {msg!r}"
+                )
+            senders[i] = msg.sender
+            receivers[i] = msg.receiver
+            kinds[i] = KINDS.code(msg.kind)
+            payloads[i] = msg.payload
+        return cls(senders, receivers, kinds, payloads)
+
+    def to_messages(self) -> list[Message]:
+        """Materialise per-message objects (interop with object nodes)."""
+        senders = self.senders_array()
+        kinds = self.kinds_array()
+        return [
+            Message(int(senders[i]), int(self.receivers[i]), KINDS.name(int(kinds[i])), int(self.payloads[i]))
+            for i in range(len(self))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageBatch(len={len(self)})"
+
+
+_EMPTY = MessageBatch._raw(0, np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64))

@@ -15,6 +15,30 @@ Every round records metrics (max sent/received per node, drop counts,
 totals) so experiments can report the communication quantities Theorem 1.1
 bounds: ``O(log n)`` messages per node per round and ``O(log² n)`` total
 per node.
+
+Two delivery engines
+--------------------
+``SyncNetwork(engine=...)`` selects how a round's traffic moves:
+
+- ``"vectorized"`` (default) packs the round into flat sender/receiver
+  index buffers, truncates over-capacity groups with one permutation draw
+  (:func:`repro.net.vectorops.segmented_keep_indices`), and accumulates
+  per-node counters with ``np.bincount``;
+- ``"legacy"`` walks per-message Python loops — slower, but written
+  plainly enough to serve as the differential-testing oracle.
+
+Both engines follow one **canonical RNG discipline** (documented in
+``docs/engine.md``): traffic is enumerated in node-insertion order, a
+truncation permutation is drawn only when some group actually exceeds its
+cap, and self-addressed messages bypass the network entirely.  Under the
+same seed the two engines therefore deliver *identical* inboxes and
+metrics, which ``tests/net/test_engine_equivalence.py`` enforces.
+
+Nodes come in two flavours: :class:`ProtocolNode` (per-message objects)
+and :class:`BatchProtocolNode` (array batches, see
+:mod:`repro.net.batch`).  Either kind runs on either engine; batch nodes
+on the vectorized engine never materialise Python message objects, which
+is what makes large-``n`` runs practical.
 """
 
 from __future__ import annotations
@@ -25,9 +49,21 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.net.batch import KINDS, MessageBatch
 from repro.net.message import Message
+from repro.net.vectorops import needs_truncation, segmented_keep_indices
 
-__all__ = ["CapacityPolicy", "NetworkMetrics", "ProtocolNode", "SyncNetwork"]
+__all__ = [
+    "CapacityPolicy",
+    "NetworkMetrics",
+    "ProtocolNode",
+    "BatchProtocolNode",
+    "SyncNetwork",
+    "ENGINES",
+]
+
+#: Valid values for ``SyncNetwork(engine=...)``.
+ENGINES = ("legacy", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -58,7 +94,14 @@ class CapacityPolicy:
 
 @dataclass
 class NetworkMetrics:
-    """Aggregated communication statistics over a simulation."""
+    """Aggregated communication statistics over a simulation.
+
+    ``stopped_by_predicate`` / ``in_flight_at_stop`` record the early-stop
+    bookkeeping of :meth:`SyncNetwork.run`: whether a ``stop_when``
+    predicate ended the run, and how many messages were still in flight at
+    that moment (0 when the predicate happened to fire on the round the
+    network went quiescent anyway).
+    """
 
     rounds: int = 0
     total_messages: int = 0
@@ -66,6 +109,8 @@ class NetworkMetrics:
     receive_drops: int = 0
     max_sent_per_round: int = 0
     max_received_per_round: int = 0
+    stopped_by_predicate: bool = False
+    in_flight_at_stop: int = 0
     sent_per_node: defaultdict[int, int] = field(default_factory=lambda: defaultdict(int))
     received_per_node: defaultdict[int, int] = field(default_factory=lambda: defaultdict(int))
 
@@ -80,6 +125,22 @@ class NetworkMetrics:
 
     def max_total_received_by_any_node(self) -> int:
         return max(self.received_per_node.values(), default=0)
+
+    def as_dict(self) -> dict:
+        """Snapshot of every aggregate (per-node dicts nonzero-filtered);
+        the equality the engine-equivalence tests assert."""
+        return {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "send_drops": self.send_drops,
+            "receive_drops": self.receive_drops,
+            "max_sent_per_round": self.max_sent_per_round,
+            "max_received_per_round": self.max_received_per_round,
+            "stopped_by_predicate": self.stopped_by_predicate,
+            "in_flight_at_stop": self.in_flight_at_stop,
+            "sent_per_node": {k: v for k, v in self.sent_per_node.items() if v},
+            "received_per_node": {k: v for k, v in self.received_per_node.items() if v},
+        }
 
 
 class ProtocolNode:
@@ -106,6 +167,27 @@ class ProtocolNode:
         return True
 
 
+class BatchProtocolNode(ProtocolNode):
+    """A node that exchanges :class:`~repro.net.batch.MessageBatch` arrays.
+
+    The engines deliver a ``MessageBatch`` inbox and expect a
+    ``MessageBatch`` (or ``None``) back from :meth:`on_round_batch`; the
+    implicit sender of every emitted message is the node itself (scalar
+    ``senders`` recommended — forging another sender raises, exactly as
+    for object nodes).  Payloads are single ``int64`` values, matching the
+    paper's ``O(log n)``-bit packets.
+    """
+
+    def on_round_batch(self, round_no: int, inbox: MessageBatch) -> MessageBatch | None:
+        raise NotImplementedError
+
+    def on_round(self, round_no: int, inbox: list[Message]) -> Iterable[Message]:
+        # Object-world bridge (engines dispatch on the class and never use
+        # it; handy for driving a batch node directly in tests).
+        out = self.on_round_batch(round_no, MessageBatch.from_messages(inbox))
+        return [] if out is None else out.to_messages()
+
+
 class SyncNetwork:
     """Round-driven simulator with capacity enforcement and metrics."""
 
@@ -114,70 +196,517 @@ class SyncNetwork:
         nodes: dict[int, ProtocolNode],
         capacity: CapacityPolicy,
         rng: np.random.Generator,
+        engine: str = "vectorized",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.nodes = nodes
         self.capacity = capacity
         self.rng = rng
-        self.metrics = NetworkMetrics()
+        self.engine = engine
         self.round_no = 0
-        self._pending: dict[int, list[Message]] = {nid: [] for nid in nodes}
+        self._metrics = NetworkMetrics()
+        n = len(nodes)
+        self._n = n
+        self._ids = (
+            np.fromiter(nodes.keys(), dtype=np.int64, count=n)
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
+        self._index = {nid: i for i, nid in enumerate(nodes)}
+        self._contiguous = bool(n) and bool((self._ids == np.arange(n)).all())
+        if not self._contiguous:
+            self._sort_order = np.argsort(self._ids, kind="stable")
+            self._sorted_ids = self._ids[self._sort_order]
+        self._is_batch = {
+            nid: isinstance(node, BatchProtocolNode) for nid, node in nodes.items()
+        }
+        self._any_batch = any(self._is_batch.values())
+        self._pending: dict[int, list[Message] | MessageBatch] = {
+            nid: (MessageBatch.empty() if self._is_batch[nid] else [])
+            for nid in nodes
+        }
+        # Vectorized engines accumulate per-node totals in arrays and flush
+        # them into the metrics dicts lazily (see the ``metrics`` property).
+        self._sent_counts = np.zeros(n, dtype=np.int64)
+        self._recv_counts = np.zeros(n, dtype=np.int64)
+        self._counts_dirty = False
+        self._pending_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> NetworkMetrics:
+        """The run's metrics; flushes vectorized per-node counters into the
+        ``sent_per_node`` / ``received_per_node`` dict views."""
+        if self._counts_dirty:
+            for i in np.flatnonzero(self._sent_counts):
+                self._metrics.sent_per_node[int(self._ids[i])] += int(self._sent_counts[i])
+            for i in np.flatnonzero(self._recv_counts):
+                self._metrics.received_per_node[int(self._ids[i])] += int(self._recv_counts[i])
+            self._sent_counts[:] = 0
+            self._recv_counts[:] = 0
+            self._counts_dirty = False
+        return self._metrics
+
+    def pending_messages(self) -> int:
+        """Messages in flight (delivered next round), local ones included."""
+        return self._pending_count
 
     # ------------------------------------------------------------------
     def run_round(self) -> None:
-        """Execute one synchronous round for every node."""
-        outgoing: dict[int, list[Message]] = {}
+        """Execute one synchronous round for every node.
+
+        Nodes producing nothing are skipped by delivery entirely; a node's
+        outgoing traffic is validated (no forged senders) before any of it
+        enters the network.
+        """
+        outputs: list[tuple[int, list[Message] | MessageBatch]] = []
+        pending = self._pending
+        is_batch = self._is_batch
+        empty = MessageBatch.empty()
+        round_no = self.round_no
         for nid, node in self.nodes.items():
-            inbox = self._pending[nid]
-            self._pending[nid] = []
-            produced = list(node.on_round(self.round_no, inbox) or [])
-            for msg in produced:
-                if msg.sender != nid:
-                    raise ValueError(
-                        f"node {nid} attempted to forge a message from {msg.sender}"
+            inbox = pending[nid]
+            if is_batch[nid]:
+                pending[nid] = empty
+                produced = node.on_round_batch(round_no, inbox)
+                if produced is not None and produced.receivers.shape[0]:
+                    senders = produced.senders
+                    bad = (
+                        bool((senders != nid).any())
+                        if type(senders) is np.ndarray
+                        else senders != nid
                     )
-            outgoing[nid] = produced
+                    if bad:
+                        raise ValueError(
+                            f"node {nid} attempted to forge a message from another sender"
+                        )
+                    outputs.append((nid, produced))
+            else:
+                pending[nid] = []
+                produced = list(node.on_round(round_no, inbox) or [])
+                if produced:
+                    for msg in produced:
+                        if msg.sender != nid:
+                            raise ValueError(
+                                f"node {nid} attempted to forge a message from {msg.sender}"
+                            )
+                    outputs.append((nid, produced))
 
-        self._deliver(outgoing)
+        if self.engine == "legacy":
+            self._deliver_legacy(outputs)
+        else:
+            self._deliver_vectorized(outputs)
         self.round_no += 1
-        self.metrics.rounds = self.round_no
+        self._metrics.rounds = self.round_no
 
-    def _deliver(self, outgoing: dict[int, list[Message]]) -> None:
+    # ------------------------------------------------------------------
+    # Legacy engine: per-message loops, the differential-testing oracle.
+    # ------------------------------------------------------------------
+    def _deliver_legacy(self, outputs) -> None:
         cap = self.capacity
-        inboxes: dict[int, list[Message]] = defaultdict(list)
-        max_sent = 0
-        for nid, msgs in outgoing.items():
-            local = [m for m in msgs if m.receiver == nid]
-            remote = [m for m in msgs if m.receiver != nid]
-            # Self-addressed messages bypass the network (no capacity use).
-            inboxes[nid].extend(local)
-            if cap.max_send is not None and len(remote) > cap.max_send:
-                keep = self.rng.choice(len(remote), size=cap.max_send, replace=False)
-                self.metrics.send_drops += len(remote) - cap.max_send
-                remote = [remote[i] for i in sorted(keep.tolist())]
-            max_sent = max(max_sent, len(remote))
-            self.metrics.sent_per_node[nid] += len(remote)
-            self.metrics.total_messages += len(remote)
-            for msg in remote:
-                if msg.receiver not in self.nodes:
-                    raise KeyError(f"message addressed to unknown node {msg.receiver}")
-                inboxes[msg.receiver].append(msg)
+        metrics = self._metrics
+        index = self._index
+        ids = self._ids
 
-        max_received = 0
-        for nid, msgs in inboxes.items():
-            remote = [m for m in msgs if m.sender != nid]
-            local = [m for m in msgs if m.sender == nid]
-            if cap.max_receive is not None and len(remote) > cap.max_receive:
-                keep = self.rng.choice(len(remote), size=cap.max_receive, replace=False)
-                self.metrics.receive_drops += len(remote) - cap.max_receive
-                remote = [remote[i] for i in sorted(keep.tolist())]
-            max_received = max(max_received, len(remote))
-            self.metrics.received_per_node[nid] += len(remote)
-            self._pending[nid].extend(local + remote)
+        # Phase 1 — enumerate remote traffic in canonical order; local
+        # (self-addressed) messages bypass the network entirely.
+        flat: list[Message] = []
+        flat_senders: list[int] = []
+        local: dict[int, list[Message]] = {}
+        for nid, produced in outputs:
+            msgs = produced.to_messages() if isinstance(produced, MessageBatch) else produced
+            for msg in msgs:
+                if msg.receiver == nid:
+                    local.setdefault(nid, []).append(msg)
+                else:
+                    flat.append(msg)
+                    flat_senders.append(index[nid])
 
-        self.metrics.max_sent_per_round = max(self.metrics.max_sent_per_round, max_sent)
-        self.metrics.max_received_per_round = max(
-            self.metrics.max_received_per_round, max_received
+        # Phase 2 — send-capacity truncation (shared RNG discipline: one
+        # permutation, drawn only when some sender is over budget).
+        if cap.max_send is not None and flat:
+            counts: defaultdict[int, int] = defaultdict(int)
+            for idx in flat_senders:
+                counts[idx] += 1
+            if max(counts.values()) > cap.max_send:
+                keep = segmented_keep_indices(
+                    np.asarray(flat_senders, dtype=np.int64), cap.max_send, self.rng
+                )
+                metrics.send_drops += len(flat) - keep.size
+                flat = [flat[i] for i in keep.tolist()]
+                flat_senders = [flat_senders[i] for i in keep.tolist()]
+
+        # Phase 3 — sent metrics, per message (oracle style).
+        max_sent_counts: defaultdict[int, int] = defaultdict(int)
+        for idx in flat_senders:
+            max_sent_counts[idx] += 1
+        for idx, count in max_sent_counts.items():
+            metrics.sent_per_node[int(ids[idx])] += count
+        metrics.total_messages += len(flat)
+        metrics.max_sent_per_round = max(
+            metrics.max_sent_per_round, max(max_sent_counts.values(), default=0)
         )
+
+        # Phase 4 — receiver validation + grouping (canonical order kept).
+        flat_receivers: list[int] = []
+        for msg in flat:
+            j = index.get(msg.receiver)
+            if j is None:
+                raise KeyError(f"message addressed to unknown node {msg.receiver}")
+            flat_receivers.append(j)
+
+        # Phase 5 — receive-capacity truncation, same shared discipline.
+        if cap.max_receive is not None and flat:
+            counts = defaultdict(int)
+            for idx in flat_receivers:
+                counts[idx] += 1
+            if max(counts.values()) > cap.max_receive:
+                keep = segmented_keep_indices(
+                    np.asarray(flat_receivers, dtype=np.int64), cap.max_receive, self.rng
+                )
+                metrics.receive_drops += len(flat) - keep.size
+                flat = [flat[i] for i in keep.tolist()]
+                flat_receivers = [flat_receivers[i] for i in keep.tolist()]
+
+        # Phase 6 — receive metrics + inbox assembly (local first, then
+        # survivors in canonical arrival order).
+        groups: dict[int, list[Message]] = {}
+        for msg, idx in zip(flat, flat_receivers):
+            groups.setdefault(idx, []).append(msg)
+        max_received = 0
+        for idx, msgs in groups.items():
+            metrics.received_per_node[int(ids[idx])] += len(msgs)
+            max_received = max(max_received, len(msgs))
+        metrics.max_received_per_round = max(metrics.max_received_per_round, max_received)
+
+        for nid, msgs in local.items():
+            self._stage_inbox(nid, msgs)
+        for idx, msgs in groups.items():
+            self._stage_inbox(int(ids[idx]), msgs)
+        self._pending_count = len(flat) + sum(len(msgs) for msgs in local.values())
+
+    def _stage_inbox(self, nid: int, msgs: list[Message]) -> None:
+        if self._is_batch[nid]:
+            existing = self._pending[nid]
+            addition = MessageBatch.from_messages(msgs)
+            self._pending[nid] = (
+                addition if len(existing) == 0 else MessageBatch.concat([existing, addition])
+            )
+        else:
+            self._pending[nid].extend(msgs)
+
+    # ------------------------------------------------------------------
+    # Vectorized engine: flat index buffers + segment truncation.
+    # ------------------------------------------------------------------
+    def _deliver_vectorized(self, outputs) -> None:
+        """Array-path delivery.
+
+        The round's traffic is packed into flat parallel columns (sender
+        index, receiver id, kind code, payload), self-addressed messages
+        are split off with one vectorized mask, capacity truncation runs
+        on index buffers via :func:`segmented_keep_indices`, and inboxes
+        are cut as *views* of receiver-sorted columns — per-message Python
+        work only happens for object-node interop.
+        """
+        cap = self.capacity
+        metrics = self._metrics
+        n = self._n
+        index = self._index
+        ids = self._ids
+        contiguous = self._contiguous
+        build_codes = self._any_batch
+
+        # ---- pack ------------------------------------------------------
+        # The dominant case (pure batch traffic, one message kind per
+        # round — exactly what the protocol schedule produces) skips the
+        # kind column entirely: ``round_kind`` carries the single code.
+        rcv_chunks: list[np.ndarray] = []
+        chunk_sender: list[int] = []
+        chunk_len: list[int] = []
+        obj_chunks: list[list[Message] | None] = []
+        kind_chunks: list = []  # array or scalar per chunk
+        pay_chunks: list = []
+        pay_ok_chunks: list = []  # True (all ok) or bool array
+        any_objs = False
+        any_pay_bad = False
+        round_kind: int | None = None
+        uniform_kinds = True
+
+        for nid, produced in outputs:
+            if type(produced) is list:
+                k = len(produced)
+                rcv_chunks.append(
+                    np.fromiter((m.receiver for m in produced), dtype=np.int64, count=k)
+                )
+                chunk_sender.append(index[nid])
+                chunk_len.append(k)
+                obj_chunks.append(produced)
+                any_objs = True
+                uniform_kinds = False
+                if build_codes:
+                    kind_chunks.append(
+                        np.fromiter(
+                            (KINDS.code(m.kind) for m in produced), dtype=np.int64, count=k
+                        )
+                    )
+                    pays = np.zeros(k, dtype=np.int64)
+                    ok = np.ones(k, dtype=bool)
+                    for i, m in enumerate(produced):
+                        if isinstance(m.payload, (int, np.integer)):
+                            pays[i] = int(m.payload)
+                        else:
+                            ok[i] = False
+                            any_pay_bad = True
+                    pay_chunks.append(pays)
+                    pay_ok_chunks.append(True if ok.all() else ok)
+                else:
+                    kind_chunks.append(0)
+                    pay_chunks.append(None)
+                    pay_ok_chunks.append(True)
+            else:
+                kinds = produced.kinds
+                if type(kinds) is np.ndarray:
+                    uniform_kinds = False
+                elif round_kind is None:
+                    round_kind = kinds
+                elif kinds != round_kind:
+                    uniform_kinds = False
+                rcv_chunks.append(produced.receivers)
+                chunk_sender.append(index[nid])
+                chunk_len.append(produced.receivers.shape[0])
+                obj_chunks.append(None)
+                kind_chunks.append(kinds)
+                pay_chunks.append(produced.payloads)
+                pay_ok_chunks.append(True)
+
+        if not rcv_chunks:
+            self._pending_count = 0
+            return
+        uniform_kinds = uniform_kinds and round_kind is not None
+
+        # ---- flatten ---------------------------------------------------
+        rcv_all = rcv_chunks[0] if len(rcv_chunks) == 1 else np.concatenate(rcv_chunks)
+        snd_all = np.repeat(
+            np.asarray(chunk_sender, dtype=np.int64),
+            np.asarray(chunk_len, dtype=np.int64),
+        )
+        m_total = rcv_all.shape[0]
+
+        objs: list[Message | None] | None = None
+        if any_objs:
+            objs = []
+            for length, rem in zip(chunk_len, obj_chunks):
+                objs.extend(rem if rem is not None else [None] * length)
+
+        kind_all = pay_all = pay_ok_all = None
+        if uniform_kinds:
+            # Pure-batch uniform round: payload column by concatenation,
+            # no kind column at all.
+            pay_all = (
+                pay_chunks[0] if len(pay_chunks) == 1 else np.concatenate(pay_chunks)
+            )
+        elif build_codes:
+            kind_all = np.empty(m_total, dtype=np.int64)
+            pay_all = np.empty(m_total, dtype=np.int64)
+            offset = 0
+            for length, kinds, pays in zip(chunk_len, kind_chunks, pay_chunks):
+                kind_all[offset : offset + length] = kinds
+                if pays is not None:
+                    pay_all[offset : offset + length] = pays
+                offset += length
+            if any_pay_bad:
+                pay_ok_all = np.ones(m_total, dtype=bool)
+                offset = 0
+                for length, ok in zip(chunk_len, pay_ok_chunks):
+                    if ok is not True:
+                        pay_ok_all[offset : offset + length] = ok
+                    offset += length
+
+        # ---- split off self-addressed traffic (bypasses the network) ---
+        snd_real = snd_all if contiguous else ids[snd_all]
+        local_mask = rcv_all == snd_real
+        if local_mask.any():
+            loc_sel = np.flatnonzero(local_mask)
+            rem_sel = np.flatnonzero(~local_mask)
+            loc_rcv_idx = snd_all[loc_sel]
+            loc_kind = kind_all[loc_sel] if kind_all is not None else None
+            loc_pay = pay_all[loc_sel] if pay_all is not None else None
+            loc_ok = pay_ok_all[loc_sel] if pay_ok_all is not None else None
+            loc_objs = [objs[i] for i in loc_sel.tolist()] if objs is not None else None
+            rcv_all = rcv_all[rem_sel]
+            snd_all = snd_all[rem_sel]
+            if kind_all is not None:
+                kind_all = kind_all[rem_sel]
+            if pay_all is not None:
+                pay_all = pay_all[rem_sel]
+            if pay_ok_all is not None:
+                pay_ok_all = pay_ok_all[rem_sel]
+            if objs is not None:
+                objs = [objs[i] for i in rem_sel.tolist()]
+            m_total = rcv_all.shape[0]
+            loc_count = loc_rcv_idx.shape[0]
+        else:
+            loc_rcv_idx = None
+            loc_kind = loc_pay = loc_ok = loc_objs = None
+            loc_count = 0
+
+        def select(keep: np.ndarray):
+            nonlocal rcv_all, snd_all, objs, kind_all, pay_all, pay_ok_all, m_total
+            rcv_all = rcv_all[keep]
+            snd_all = snd_all[keep]
+            if objs is not None:
+                objs = [objs[i] for i in keep.tolist()]
+            if kind_all is not None:
+                kind_all = kind_all[keep]
+            if pay_all is not None:
+                pay_all = pay_all[keep]
+            if pay_ok_all is not None:
+                pay_ok_all = pay_ok_all[keep]
+            m_total = rcv_all.shape[0]
+
+        # ---- send capacity --------------------------------------------
+        if cap.max_send is not None and m_total:
+            counts = np.bincount(snd_all, minlength=n)
+            if needs_truncation(counts, cap.max_send):
+                keep = segmented_keep_indices(snd_all, cap.max_send, self.rng)
+                metrics.send_drops += m_total - keep.size
+                select(keep)
+
+        if m_total:
+            sent_counts = np.bincount(snd_all, minlength=n)
+            self._sent_counts += sent_counts
+            self._counts_dirty = True
+            metrics.max_sent_per_round = max(
+                metrics.max_sent_per_round, int(sent_counts.max())
+            )
+        metrics.total_messages += m_total
+
+        # ---- receiver mapping -----------------------------------------
+        if m_total:
+            if contiguous:
+                invalid = (rcv_all < 0) | (rcv_all >= n)
+                if invalid.any():
+                    raise KeyError(
+                        f"message addressed to unknown node {int(rcv_all[int(invalid.argmax())])}"
+                    )
+                rcv_idx = rcv_all
+            else:
+                pos = np.searchsorted(self._sorted_ids, rcv_all)
+                pos_clip = np.minimum(pos, max(n - 1, 0))
+                invalid = (pos >= n) | (self._sorted_ids[pos_clip] != rcv_all)
+                if invalid.any():
+                    raise KeyError(
+                        f"message addressed to unknown node {int(rcv_all[int(invalid.argmax())])}"
+                    )
+                rcv_idx = self._sort_order[pos]
+        else:
+            rcv_idx = rcv_all
+
+        # ---- receive capacity -----------------------------------------
+        if cap.max_receive is not None and m_total:
+            counts = np.bincount(rcv_idx, minlength=n)
+            if needs_truncation(counts, cap.max_receive):
+                keep = segmented_keep_indices(rcv_idx, cap.max_receive, self.rng)
+                metrics.receive_drops += m_total - keep.size
+                rcv_idx = rcv_idx[keep]
+                select(keep)
+
+        if m_total:
+            recv_counts = np.bincount(rcv_idx, minlength=n)
+            self._recv_counts += recv_counts
+            self._counts_dirty = True
+            metrics.max_received_per_round = max(
+                metrics.max_received_per_round, int(recv_counts.max())
+            )
+
+        # ---- inbox assembly (local first, canonical order after) ------
+        if loc_count:
+            # Prepend local messages so they sort ahead of remote ones for
+            # the same receiver (stable sort ⇒ legacy's local-first order).
+            rcv_idx = np.concatenate([loc_rcv_idx, rcv_idx])
+            snd_all = np.concatenate([loc_rcv_idx, snd_all])
+            if kind_all is not None:
+                kind_all = np.concatenate([loc_kind, kind_all])
+            if pay_all is not None:
+                pay_all = np.concatenate([loc_pay, pay_all])
+            if pay_ok_all is not None or loc_ok is not None:
+                ones = lambda k: np.ones(k, dtype=bool)  # noqa: E731
+                pay_ok_all = np.concatenate(
+                    [
+                        loc_ok if loc_ok is not None else ones(loc_count),
+                        pay_ok_all if pay_ok_all is not None else ones(m_total),
+                    ]
+                )
+            if objs is not None:
+                objs = loc_objs + objs
+            m_total += loc_count
+
+        self._pending_count = m_total
+        if not m_total:
+            return
+
+        order = np.argsort(rcv_idx, kind="stable")
+        rcv_s = rcv_idx[order]
+        snd_s = snd_all[order]
+        snd_real_s = snd_s if contiguous else ids[snd_s]
+        rcv_real_s = rcv_s if contiguous else ids[rcv_s]
+        kind_s = kind_all[order] if kind_all is not None else None
+        pay_s = pay_all[order] if pay_all is not None else None
+        ok_s = pay_ok_all[order] if pay_ok_all is not None else None
+        objs_s = [objs[i] for i in order.tolist()] if objs is not None else None
+
+        cuts = np.flatnonzero(rcv_s[1:] != rcv_s[:-1]) + 1
+        starts = [0] + cuts.tolist() + [m_total]
+        group_rcv = rcv_s[np.asarray(starts[:-1], dtype=np.int64)].tolist()
+
+        uniform_kind = round_kind if uniform_kinds else None
+        if uniform_kind is None and kind_s is not None and int(kind_s.min()) == int(kind_s.max()):
+            uniform_kind = int(kind_s[0])
+
+        pending = self._pending
+        is_batch = self._is_batch
+        kind_name = KINDS.name
+        raw = MessageBatch._raw
+        for g in range(len(starts) - 1):
+            s = starts[g]
+            e = starts[g + 1]
+            nid = group_rcv[g] if contiguous else int(ids[group_rcv[g]])
+            if is_batch[nid]:
+                if ok_s is not None and not ok_s[s:e].all():
+                    raise TypeError(
+                        f"batch node {nid} received a message with a non-integer payload"
+                    )
+                pending[nid] = raw(
+                    snd_real_s[s:e],
+                    rcv_real_s[s:e],
+                    uniform_kind if uniform_kind is not None else kind_s[s:e],
+                    pay_s[s:e],
+                )
+            elif objs_s is not None:
+                msgs = []
+                for i in range(s, e):
+                    obj = objs_s[i]
+                    if obj is None:
+                        obj = Message(
+                            int(snd_real_s[i]),
+                            nid,
+                            kind_name(int(kind_s[i])) if kind_s is not None else kind_name(uniform_kind),
+                            int(pay_s[i]),
+                        )
+                    msgs.append(obj)
+                pending[nid] = msgs
+            else:
+                uname = kind_name(uniform_kind) if kind_s is None else None
+                pending[nid] = [
+                    Message(
+                        int(snd_real_s[i]),
+                        nid,
+                        uname if uname is not None else kind_name(int(kind_s[i])),
+                        int(pay_s[i]),
+                    )
+                    for i in range(s, e)
+                ]
 
     # ------------------------------------------------------------------
     def run(
@@ -186,12 +715,25 @@ class SyncNetwork:
         stop_when: Callable[[], bool] | None = None,
     ) -> NetworkMetrics:
         """Run until every node is idle with no messages in flight, a
-        custom predicate fires, or ``max_rounds`` elapses."""
+        custom predicate fires, or ``max_rounds`` elapses.
+
+        The in-flight/idle bookkeeping is evaluated every round *before*
+        the ``stop_when`` predicate is honoured, so a predicate firing on
+        the final round still yields consistent metrics:
+        ``stopped_by_predicate`` is set and ``in_flight_at_stop`` records
+        how many messages were pending (0 when the network was quiescent
+        anyway).
+        """
         for _ in range(max_rounds):
             self.run_round()
+            in_flight = self.pending_messages()
+            idle = in_flight == 0 and all(
+                node.is_idle() for node in self.nodes.values()
+            )
             if stop_when is not None and stop_when():
+                self._metrics.stopped_by_predicate = True
+                self._metrics.in_flight_at_stop = in_flight
                 break
-            in_flight = any(self._pending[nid] for nid in self.nodes)
-            if not in_flight and all(node.is_idle() for node in self.nodes.values()):
+            if idle:
                 break
         return self.metrics

@@ -1,0 +1,71 @@
+"""Vectorized group-truncation primitives shared across the reproduction.
+
+Both delivery engines of :class:`repro.net.network.SyncNetwork` and the
+acceptance step of ``CreateExpander`` (§2.1 line c) face the same problem:
+given ``m`` items labelled with a group id (sender, receiver, or walk
+endpoint), keep a *uniformly random* subset of at most ``cap`` items per
+group and drop the rest — the paper's "arbitrary subset" drop semantics
+made uniform (§1.1).
+
+The implementation draws **one** ``rng.permutation(m)`` and keeps, within
+each group, the ``cap`` items of lowest permutation rank.  Because every
+permutation is equally likely, each size-``cap`` subset of a group is kept
+with equal probability (the chi-square tests in
+``tests/net/test_capacity_semantics.py`` pin this down).  Centralising the
+draw here is what makes the legacy and vectorized network engines agree
+*exactly*: both call this function with identical group arrays in the same
+canonical order, so the same messages survive under the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segmented_keep_indices", "needs_truncation"]
+
+
+def segmented_keep_indices(
+    groups: np.ndarray, cap: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Indices (sorted ascending) of items kept under a per-group cap.
+
+    Parameters
+    ----------
+    groups:
+        ``(m,)`` integer array — the group label of each item, in the
+        caller's canonical item order.
+    cap:
+        Maximum number of items to keep per group (``>= 0``).
+    rng:
+        Randomness source; consumes exactly one ``permutation(m)`` draw.
+
+    Returns
+    -------
+    np.ndarray
+        Sorted item indices, so selecting them preserves the canonical
+        order of the survivors.
+    """
+    groups = np.asarray(groups)
+    m = groups.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    perm = rng.permutation(m)
+    shuffled = groups[perm]
+    order = np.argsort(shuffled, kind="stable")
+    sorted_groups = shuffled[order]
+    group_start = np.searchsorted(sorted_groups, sorted_groups, side="left")
+    rank_in_group = np.arange(m) - group_start
+    keep = rank_in_group < cap
+    return np.sort(perm[order[keep]])
+
+
+def needs_truncation(counts: np.ndarray, cap: int | None) -> bool:
+    """Whether any group exceeds ``cap`` (``None`` disables the bound).
+
+    The shared RNG discipline: an engine consumes randomness **only** when
+    this predicate is true, so capacity settings that never bind leave the
+    generator untouched (asserted by the capacity-semantics tests).
+    """
+    if cap is None or counts.size == 0:
+        return False
+    return int(counts.max()) > cap

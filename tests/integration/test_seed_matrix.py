@@ -33,6 +33,47 @@ class TestCorePipelineMatrix:
         assert result.well_formed.depth() <= math.ceil(math.log2(n)) + 1
 
 
+class TestRoundLedgerMatrix:
+    """Theorem 1.1 accounting: the per-phase round ledger is complete,
+    internally consistent, and totals ``O(log n)`` across sizes."""
+
+    PHASES = ("prepare", "evolutions", "bfs", "well_forming")
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("workload", ["line", "cycle", "random_tree"])
+    def test_phase_counts_across_topologies(self, workload, seed):
+        g = G.make_workload(workload, 72, np.random.default_rng(seed))
+        result = build_well_formed_tree(g, rng=np.random.default_rng(seed * 11 + 3))
+        ledger = result.round_ledger
+        assert tuple(ledger) == self.PHASES
+        # Preparation is exactly bidirect + copy (§2.1).
+        assert ledger["prepare"] == 2
+        # Each evolution costs ℓ forwarding rounds plus one answer round.
+        params = result.expander.params
+        assert ledger["evolutions"] == len(result.history) * (params.ell + 1)
+        assert ledger["bfs"] == result.bfs.rounds >= 1
+        assert ledger["well_forming"] == result.well_formed.rounds >= 1
+        assert result.total_rounds == sum(ledger.values())
+
+    def test_total_rounds_scale_logarithmically(self):
+        from repro.experiments.harness import fit_vs_logn
+
+        sizes = [32, 64, 128, 256]
+        totals = []
+        for n in sizes:
+            result = build_well_formed_tree(
+                G.line_graph(n), rng=np.random.default_rng(n)
+            )
+            totals.append(result.total_rounds)
+        # O(log n): the fit against log2(n) is tight and the normalised
+        # ratio stays bounded across the sweep (the E3/E6 bench criterion).
+        _, slope, r2 = fit_vs_logn(sizes, totals)
+        assert slope > 0
+        assert r2 > 0.9
+        ratios = [t / math.log2(n) for t, n in zip(totals, sizes)]
+        assert max(ratios) <= 3 * min(ratios)
+
+
 class TestSpanningTreeMatrix:
     @pytest.mark.parametrize("seed", range(5))
     def test_always_a_spanning_tree(self, seed):

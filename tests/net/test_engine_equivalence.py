@@ -1,0 +1,207 @@
+"""Differential equivalence: legacy vs. vectorized delivery engines.
+
+Both engines of :class:`SyncNetwork` implement the §1.1 NCC0 semantics
+under one canonical RNG discipline (see ``docs/engine.md``), so under the
+same seed they must produce *identical* executions — not just statistically
+similar ones.  This suite replays seeded random workloads (mixed
+self-loops, over-capacity senders, hot receivers) through every
+engine × node-representation combination and asserts exact equality of
+
+- per-node inbox multisets (in fact full sequences) for every round, and
+- every :class:`NetworkMetrics` aggregate,
+
+plus identical error behaviour for unknown receivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.batch import KINDS, MessageBatch
+from repro.net.message import Message
+from repro.net.network import (
+    BatchProtocolNode,
+    CapacityPolicy,
+    ProtocolNode,
+    SyncNetwork,
+)
+
+N_NODES = 24
+N_ROUNDS = 6
+SEEDS = range(20)
+
+
+def make_plan(seed: int, n: int = N_NODES, rounds: int = N_ROUNDS):
+    """Deterministic per-node send schedule with stressful structure.
+
+    Every round each node sends a random number of messages to random
+    receivers (self included — exercising the local bypass), two "chatty"
+    nodes burst far over any send cap, and all bursts favour a "hot"
+    receiver so the receive cap binds too.
+    """
+    rng = np.random.default_rng(seed * 1013 + 7)
+    hot = int(rng.integers(0, n))
+    chatty = set(rng.choice(n, size=2, replace=False).tolist())
+    plan: dict[int, list[list[tuple[int, str, int]]]] = {v: [] for v in range(n)}
+    payload = 0
+    for _ in range(rounds):
+        for v in range(n):
+            k = int(rng.integers(0, 4))
+            if v in chatty:
+                k += int(rng.integers(8, 14))
+            sends = []
+            for _ in range(k):
+                if rng.random() < 0.15:
+                    receiver = v  # self-loop
+                elif rng.random() < 0.4:
+                    receiver = hot
+                else:
+                    receiver = int(rng.integers(0, n))
+                kind = "ping" if rng.random() < 0.7 else "pong"
+                sends.append((receiver, kind, payload))
+                payload += 1
+            plan[v].append(sends)
+    return plan
+
+
+class ScriptedNode(ProtocolNode):
+    """Replays a plan with object messages; logs every inbox."""
+
+    def __init__(self, node_id, sends_per_round):
+        super().__init__(node_id)
+        self.sends_per_round = sends_per_round
+        self.log: list[list[tuple[int, str, int]]] = []
+
+    def on_round(self, round_no, inbox):
+        self.log.append([(m.sender, m.kind, m.payload) for m in inbox])
+        if round_no >= len(self.sends_per_round):
+            return []
+        return [
+            Message(self.node_id, receiver, kind, payload)
+            for receiver, kind, payload in self.sends_per_round[round_no]
+        ]
+
+    def is_idle(self):
+        return False
+
+
+class BatchScriptedNode(BatchProtocolNode):
+    """Replays the same plan with message batches; logs every inbox."""
+
+    def __init__(self, node_id, sends_per_round):
+        super().__init__(node_id)
+        self.sends_per_round = sends_per_round
+        self.log: list[list[tuple[int, str, int]]] = []
+
+    def on_round_batch(self, round_no, inbox):
+        senders = inbox.senders_array()
+        kinds = inbox.kinds_array()
+        self.log.append(
+            [
+                (int(senders[i]), KINDS.name(int(kinds[i])), int(inbox.payloads[i]))
+                for i in range(len(inbox))
+            ]
+        )
+        if round_no >= len(self.sends_per_round):
+            return None
+        sends = self.sends_per_round[round_no]
+        if not sends:
+            return None
+        return MessageBatch(
+            self.node_id,
+            np.array([receiver for receiver, _, _ in sends], dtype=np.int64),
+            np.array([KINDS.code(kind) for _, kind, _ in sends], dtype=np.int64),
+            np.array([payload for _, _, payload in sends], dtype=np.int64),
+        )
+
+    def is_idle(self):
+        return False
+
+
+def run_workload(plan, node_cls, engine, capacity, net_seed, rounds=N_ROUNDS + 1):
+    nodes = {v: node_cls(v, plan[v]) for v in sorted(plan)}
+    net = SyncNetwork(nodes, capacity, np.random.default_rng(net_seed), engine=engine)
+    for _ in range(rounds):
+        net.run_round()
+    logs = {v: nodes[v].log for v in nodes}
+    return logs, net.metrics.as_dict()
+
+
+CAPACITY = CapacityPolicy(max_send=6, max_receive=5)
+
+
+class TestObjectNodeEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_legacy_and_vectorized_identical(self, seed):
+        plan = make_plan(seed)
+        logs_l, metrics_l = run_workload(plan, ScriptedNode, "legacy", CAPACITY, seed)
+        logs_v, metrics_v = run_workload(plan, ScriptedNode, "vectorized", CAPACITY, seed)
+        assert metrics_l == metrics_v
+        for v in logs_l:
+            # Exact sequences (stronger than the multiset requirement).
+            assert logs_l[v] == logs_v[v]
+            # And explicitly as multisets, the §1.1-level statement.
+            for a, b in zip(logs_l[v], logs_v[v]):
+                assert sorted(a) == sorted(b)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_workloads_actually_exercise_drops(self, seed):
+        plan = make_plan(seed)
+        _, metrics = run_workload(plan, ScriptedNode, "vectorized", CAPACITY, seed)
+        assert metrics["send_drops"] > 0
+        assert metrics["receive_drops"] > 0
+
+
+class TestCrossRepresentationEquivalence:
+    """Scripted nodes draw no randomness of their own, so all four
+    engine × representation combinations must coincide exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_four_way_identical(self, seed):
+        plan = make_plan(seed)
+        runs = {
+            (node_cls.__name__, engine): run_workload(plan, node_cls, engine, CAPACITY, seed)
+            for node_cls in (ScriptedNode, BatchScriptedNode)
+            for engine in ("legacy", "vectorized")
+        }
+        reference_logs, reference_metrics = runs[("ScriptedNode", "legacy")]
+        for key, (logs, metrics) in runs.items():
+            assert metrics == reference_metrics, key
+            assert logs == reference_logs, key
+
+
+class TestUnbounded:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unbounded_capacity_equivalence(self, seed):
+        plan = make_plan(seed)
+        cap = CapacityPolicy.unbounded()
+        logs_l, metrics_l = run_workload(plan, ScriptedNode, "legacy", cap, seed)
+        logs_v, metrics_v = run_workload(plan, ScriptedNode, "vectorized", cap, seed)
+        assert metrics_l == metrics_v
+        assert logs_l == logs_v
+        assert metrics_l["send_drops"] == 0
+        assert metrics_l["receive_drops"] == 0
+
+
+class TestErrorEquivalence:
+    @pytest.mark.parametrize("engine", ["legacy", "vectorized"])
+    def test_unknown_receiver_raises_same_error(self, engine):
+        plan = {v: [[(999, "ping", 1)]] if v == 0 else [[]] for v in range(4)}
+        nodes = {v: ScriptedNode(v, plan[v]) for v in range(4)}
+        net = SyncNetwork(
+            nodes, CapacityPolicy.unbounded(), np.random.default_rng(0), engine=engine
+        )
+        with pytest.raises(KeyError, match="unknown node 999"):
+            net.run_round()
+
+    @pytest.mark.parametrize("engine", ["legacy", "vectorized"])
+    def test_forged_sender_raises_on_both_engines(self, engine):
+        class Forger(ProtocolNode):
+            def on_round(self, round_no, inbox):
+                return [Message(99, 1, "fake")]
+
+        nodes = {0: Forger(0), 1: ScriptedNode(1, [[]])}
+        net = SyncNetwork(
+            nodes, CapacityPolicy.unbounded(), np.random.default_rng(0), engine=engine
+        )
+        with pytest.raises(ValueError, match="forge"):
+            net.run_round()

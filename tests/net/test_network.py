@@ -119,3 +119,55 @@ class TestMetrics:
         net = build_network(nodes)
         net.run(max_rounds=50, stop_when=lambda: True)
         assert net.metrics.rounds == 1
+
+
+class TestEarlyStopBookkeeping:
+    """The ``stop_when`` fix: in-flight/idle bookkeeping is evaluated every
+    round, even on the round the predicate fires."""
+
+    def test_predicate_with_traffic_in_flight(self):
+        nodes = {0: EchoNode(0, target=1, payloads=3), 1: EchoNode(1)}
+        net = build_network(nodes)
+        metrics = net.run(max_rounds=50, stop_when=lambda: True)
+        # Stopped after round 1, while the 3 messages were still pending.
+        assert metrics.stopped_by_predicate
+        assert metrics.in_flight_at_stop == 3
+        assert net.pending_messages() == 3
+
+    def test_predicate_firing_on_final_round_is_consistent(self):
+        # Baseline: without a predicate the run goes quiescent by itself.
+        baseline_nodes = {0: EchoNode(0, target=1, payloads=2), 1: EchoNode(1)}
+        baseline = build_network(baseline_nodes).run(max_rounds=50)
+        assert not baseline.stopped_by_predicate
+
+        # A predicate that fires exactly on the round the network would
+        # have stopped anyway must not corrupt the bookkeeping: zero
+        # messages in flight, identical aggregates.
+        nodes = {0: EchoNode(0, target=1, payloads=2), 1: EchoNode(1)}
+        net = build_network(nodes)
+        metrics = net.run(
+            max_rounds=50, stop_when=lambda: net.round_no >= baseline.rounds
+        )
+        assert metrics.stopped_by_predicate
+        assert metrics.in_flight_at_stop == 0
+        assert metrics.rounds == baseline.rounds
+        assert metrics.total_messages == baseline.total_messages
+        assert dict(metrics.received_per_node) == dict(baseline.received_per_node)
+
+    def test_no_predicate_leaves_flags_unset(self):
+        nodes = {0: EchoNode(0, target=1), 1: EchoNode(1)}
+        metrics = build_network(nodes).run(max_rounds=50)
+        assert not metrics.stopped_by_predicate
+        assert metrics.in_flight_at_stop == 0
+
+    @pytest.mark.parametrize("engine", ["legacy", "vectorized"])
+    def test_pending_messages_tracks_both_engines(self, engine):
+        nodes = {0: EchoNode(0, target=1, payloads=4), 1: EchoNode(1)}
+        net = SyncNetwork(
+            nodes, CapacityPolicy.unbounded(), np.random.default_rng(0), engine=engine
+        )
+        assert net.pending_messages() == 0
+        net.run_round()
+        assert net.pending_messages() == 4
+        net.run_round()
+        assert net.pending_messages() == 0
