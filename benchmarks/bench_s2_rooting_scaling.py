@@ -1,0 +1,203 @@
+"""S2 — Rooting-phase scaling: object vs. batched min-id flooding + BFS.
+
+The rooting phase of Theorem 1.1 (§2.1, footnote 8) runs here in its two
+message representations over the same NCC0 network:
+
+- **object-nodes / legacy**: per-:class:`Message` Python loops — the
+  seed's path, kept as the differential oracle;
+- **batch-nodes / vectorized**: :class:`BatchRootingNode` int64 columns
+  (BFS offers ride the two payload lanes as ``(depth, offerer)`` pairs)
+  through the flat-buffer delivery engine.
+
+The subject graph is a ring plus two random permutation chord sets — a
+stand-in for the evolution phase's output: connected, ``O(log n)``
+diameter, degree ≤ 6 — so the benchmark isolates the *rooting* phase
+instead of re-timing ``CreateExpander`` (that is S1's job).
+
+Measured: wall-clock per stack across sizes (vectorized-only at sizes the
+object path cannot reach in reasonable time), the speedup, and an exact
+object-vs-batch equivalence check — identical ``(root, parent, depth)``
+and metrics — before anything is timed.
+
+Shape assertion (full mode): at ``n = 10⁴`` the vectorized engine is
+≥ 4× faster than the legacy engine on the *same batch nodes* (the
+engine-controlled comparison, per ISSUE 2's acceptance bar).
+
+Run standalone:  ``PYTHONPATH=src python benchmarks/bench_s2_rooting_scaling.py``
+(``--smoke`` for the ~30 s CI variant, ``--engine`` to restrict scaling rows).
+"""
+
+import argparse
+import math
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
+from repro.experiments.harness import Table, add_engine_argument, select_engine
+from repro.graphs.portgraph import PortGraph
+
+FULL_SIZES = (1_000, 5_000, 10_000)
+FULL_VECTORIZED_ONLY = (50_000,)
+SMOKE_SIZES = (500, 2_000)
+ASSERT_N = 10_000
+DELTA = 16
+NUM_CHORD_SETS = 2
+
+
+def overlay_like_graph(n: int, seed: int) -> PortGraph:
+    """Connected Δ=16 multigraph with ``O(log n)`` diameter.
+
+    A ring (connectivity) plus random permutation chord sets (expansion);
+    every node has degree ≤ 2 + 2·NUM_CHORD_SETS regardless of ``n``.
+    """
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    ends_a = [idx]
+    ends_b = [np.roll(idx, -1)]
+    for _ in range(NUM_CHORD_SETS):
+        ends_a.append(idx)
+        ends_b.append(rng.permutation(n).astype(np.int64))
+    return PortGraph.from_edge_multiset(
+        n=n,
+        delta=DELTA,
+        endpoints_a=np.concatenate(ends_a),
+        endpoints_b=np.concatenate(ends_b),
+    )
+
+
+def _flood_rounds(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n)))) + 8
+
+
+def _time(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_equivalence(n: int = 400) -> None:
+    """Bit-for-bit object-vs-batch agreement before timing anything."""
+    graph = overlay_like_graph(n, seed=n)
+    fr = _flood_rounds(n)
+    obj = run_protocol_rooting(graph, fr, rng=np.random.default_rng(n), engine="legacy")
+    bat = run_batch_rooting(graph, fr, rng=np.random.default_rng(n))
+    assert obj.root == bat.root, "stacks disagree on the root"
+    assert np.array_equal(obj.parent, bat.parent), "stacks disagree on parents"
+    assert np.array_equal(obj.depth, bat.depth), "stacks disagree on depths"
+    assert obj.metrics.as_dict() == bat.metrics.as_dict(), "stacks disagree on metrics"
+
+
+def run_experiment(smoke: bool, engine_filter: str | None = None):
+    check_equivalence()
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    vec_only = () if smoke else FULL_VECTORIZED_ONLY
+
+    table = Table(
+        "S2: rooting-phase scaling (min-id flooding + BFS)",
+        ["n", "flood_rounds", "stack", "engine", "seconds", "msgs/sec"],
+    )
+    rows = {}
+
+    def record(n, stack, engine, seconds, total_messages):
+        rate = total_messages / seconds if seconds > 0 else float("inf")
+        table.add(n, _flood_rounds(n), stack, engine, round(seconds, 3), int(rate))
+        rows[(n, stack, engine)] = seconds
+
+    for n in sizes:
+        graph = overlay_like_graph(n, seed=n)
+        fr = _flood_rounds(n)
+        repeats = 1 if smoke else 2
+
+        if engine_filter in (None, "vectorized"):
+            result = run_batch_rooting(graph, fr, rng=np.random.default_rng(1))
+            seconds = _time(
+                lambda: run_batch_rooting(graph, fr, rng=np.random.default_rng(1)),
+                repeats,
+            )
+            record(n, "batch-nodes", "vectorized", seconds, result.metrics.total_messages)
+
+        if engine_filter in (None, "legacy"):
+            result = run_protocol_rooting(
+                graph, fr, rng=np.random.default_rng(1), engine="legacy"
+            )
+            seconds = _time(
+                lambda: run_protocol_rooting(
+                    graph, fr, rng=np.random.default_rng(1), engine="legacy"
+                ),
+                repeats=1,
+            )
+            record(n, "object-nodes", "legacy", seconds, result.metrics.total_messages)
+
+            if n == ASSERT_N:
+                # Engine-controlled comparison: identical batch nodes, only
+                # the delivery engine differs.
+                result = run_batch_rooting(
+                    graph, fr, rng=np.random.default_rng(1), engine="legacy"
+                )
+                seconds = _time(
+                    lambda: run_batch_rooting(
+                        graph, fr, rng=np.random.default_rng(1), engine="legacy"
+                    ),
+                    repeats=1,
+                )
+                record(n, "batch-nodes", "legacy", seconds, result.metrics.total_messages)
+
+    for n in vec_only:
+        graph = overlay_like_graph(n, seed=n)
+        fr = _flood_rounds(n)
+        result = run_batch_rooting(graph, fr, rng=np.random.default_rng(1))
+        seconds = _time(
+            lambda: run_batch_rooting(graph, fr, rng=np.random.default_rng(1)),
+            repeats=1,
+        )
+        record(n, "batch-nodes", "vectorized", seconds, result.metrics.total_messages)
+
+    table.show()
+
+    if not smoke and engine_filter is None:
+        t_vec = rows[(ASSERT_N, "batch-nodes", "vectorized")]
+        t_leg_same_nodes = rows[(ASSERT_N, "batch-nodes", "legacy")]
+        t_leg_seed_stack = rows[(ASSERT_N, "object-nodes", "legacy")]
+        engine_speedup = t_leg_same_nodes / t_vec
+        stack_speedup = t_leg_seed_stack / t_vec
+        print(
+            f"n={ASSERT_N}: engine-controlled speedup {engine_speedup:.1f}x, "
+            f"full-stack speedup {stack_speedup:.1f}x"
+        )
+        assert engine_speedup >= 4.0, (
+            f"vectorized engine only {engine_speedup:.1f}x faster than legacy "
+            f"on identical rooting nodes at n={ASSERT_N} (need >= 4x)"
+        )
+    return rows
+
+
+def bench_s2_rooting_scaling(benchmark):
+    from _common import run_once
+
+    run_once(benchmark, lambda: run_experiment(smoke=False))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="~30s CI variant: small sizes, no asserts"
+    )
+    add_engine_argument(parser)
+    args = parser.parse_args(argv)
+    engine_filter = (
+        select_engine(args.engine)
+        if args.engine or os.environ.get("REPRO_ENGINE")
+        else None
+    )
+    run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

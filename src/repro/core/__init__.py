@@ -19,11 +19,19 @@ from repro.core.benign import BenignReport, check_benign, make_benign
 from repro.core.protocol import ExpanderNode, ProtocolRunResult, run_protocol_expander
 from repro.core.walks import WalkResult, run_token_walks, sample_port_targets
 from repro.core.expander import (
+    EdgeRegistry,
     EvolutionStats,
     ExpanderBuilder,
     ExpanderResult,
     OverlayEdge,
     create_expander,
+)
+from repro.core.protocol_tree import (
+    BatchRootingNode,
+    TreeProtocolResult,
+    run_batch_rooting,
+    run_protocol_rooting,
+    run_rooting_under_asynchrony,
 )
 from repro.core.bfs import BFSForest, build_bfs_forest, distributed_bfs, flood_min_ids
 from repro.core.child_sibling import RootedTree, to_child_sibling
@@ -60,11 +68,17 @@ __all__ = [
     "WalkResult",
     "run_token_walks",
     "sample_port_targets",
+    "EdgeRegistry",
     "EvolutionStats",
     "ExpanderBuilder",
     "ExpanderResult",
     "OverlayEdge",
     "create_expander",
+    "BatchRootingNode",
+    "TreeProtocolResult",
+    "run_batch_rooting",
+    "run_protocol_rooting",
+    "run_rooting_under_asynchrony",
     "BFSForest",
     "build_bfs_forest",
     "distributed_bfs",

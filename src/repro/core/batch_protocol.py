@@ -36,8 +36,6 @@ __all__ = ["BatchExpanderNode", "run_batch_expander"]
 TOKEN = KINDS.code("token")
 ACCEPT = KINDS.code("accept")
 
-_NO_PAYLOADS = np.empty(0, dtype=np.int64)
-
 
 class BatchExpanderNode(BatchProtocolNode):
     """One NCC0 node executing ``CreateExpander`` on message arrays.
@@ -89,13 +87,6 @@ class BatchExpanderNode(BatchProtocolNode):
         _, targets = sample_port_targets(self.ports, self.rng, count=origins.shape[0])
         return MessageBatch._raw(self.node_id, targets, TOKEN, origins)
 
-    def _filter(self, inbox: MessageBatch, want: int) -> np.ndarray:
-        """Payloads of the inbox messages of kind ``want``."""
-        kinds = inbox.kinds
-        if type(kinds) is np.ndarray:
-            return inbox.payloads[kinds == want]
-        return inbox.payloads if kinds == want else _NO_PAYLOADS
-
     def on_round_batch(self, round_no: int, inbox: MessageBatch) -> MessageBatch | None:
         evolution, step = divmod(round_no, self._span)
         if evolution >= self._num_evolutions:
@@ -106,11 +97,11 @@ class BatchExpanderNode(BatchProtocolNode):
             return self._forward(self._own_tokens)
 
         if step < self._ell:
-            return self._forward(self._filter(inbox, TOKEN))
+            return self._forward(inbox.payloads_of_kind(TOKEN))
 
         if step == self._ell:
             # Acceptance: answer up to 3Δ/8 tokens, chosen uniformly.
-            tokens = self._filter(inbox, TOKEN)
+            tokens = inbox.payloads_of_kind(TOKEN)
             if tokens.shape[0] > self._accept_cap:
                 chosen = self.rng.choice(
                     tokens.shape[0], size=self._accept_cap, replace=False
@@ -130,7 +121,7 @@ class BatchExpanderNode(BatchProtocolNode):
             )
 
         # step == ell + 1: collect replies, rebuild ports, pad self-loops.
-        replies = self._filter(inbox, ACCEPT)
+        replies = inbox.payloads_of_kind(ACCEPT)
         if replies.shape[0]:
             self._next_origin_edges.append(replies)
         partners = (

@@ -42,6 +42,7 @@ from repro.graphs.spectral import spectral_gap
 
 __all__ = [
     "OverlayEdge",
+    "EdgeRegistry",
     "EvolutionStats",
     "ExpanderBuilder",
     "ExpanderResult",
@@ -66,6 +67,81 @@ class OverlayEdge:
     edge_trace: np.ndarray | None = None
 
 
+class EdgeRegistry:
+    """Columnar per-evolution edge registry.
+
+    The batched counterpart of a ``list[OverlayEdge]``: the accepted
+    tokens' ``(origin, endpoint)`` pairs live in two parallel ``int64``
+    columns (plus an optional per-edge trace list), so the hot non-trace
+    path of an evolution materialises **zero** per-token Python objects —
+    previously ``n·Δ/8`` ``OverlayEdge`` instances per evolution.
+
+    The sequence interface is preserved: indexing (and slicing/iteration)
+    materialises :class:`OverlayEdge` views on demand, which is what the
+    spanning-tree unwinding, the benchmarks, and the tests consume.
+    """
+
+    __slots__ = ("origins", "endpoints", "traces")
+
+    def __init__(
+        self,
+        origins: np.ndarray | None = None,
+        endpoints: np.ndarray | None = None,
+        traces: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> None:
+        self.origins = np.asarray(
+            origins if origins is not None else [], dtype=np.int64
+        )
+        self.endpoints = np.asarray(
+            endpoints if endpoints is not None else [], dtype=np.int64
+        )
+        if self.origins.shape != self.endpoints.shape:
+            raise ValueError("origin/endpoint columns must have equal length")
+        if traces is not None and len(traces) != self.origins.shape[0]:
+            raise ValueError("traces must match the column length")
+        #: ``(node_trace, edge_trace)`` per edge, or None without recording.
+        self.traces = traces
+
+    def __len__(self) -> int:
+        return int(self.origins.shape[0])
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [self[i] for i in range(*idx.indices(len(self)))]
+        i = int(idx)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(f"edge id {idx} out of range for {len(self)} edges")
+        node_trace = edge_trace = None
+        if self.traces is not None:
+            node_trace, edge_trace = self.traces[i]
+        return OverlayEdge(
+            origin=int(self.origins[i]),
+            endpoint=int(self.endpoints[i]),
+            node_trace=node_trace,
+            edge_trace=edge_trace,
+        )
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def extend(self, edges) -> None:
+        """Append :class:`OverlayEdge` entries (the rare rescue path)."""
+        edges = list(edges)
+        if not edges:
+            return
+        self.origins = np.concatenate(
+            [self.origins, np.array([e.origin for e in edges], dtype=np.int64)]
+        )
+        self.endpoints = np.concatenate(
+            [self.endpoints, np.array([e.endpoint for e in edges], dtype=np.int64)]
+        )
+        if self.traces is not None:
+            self.traces.extend((e.node_trace, e.edge_trace) for e in edges)
+
+
 @dataclass
 class EvolutionStats:
     """Per-evolution measurements reported by the builder."""
@@ -87,7 +163,7 @@ class ExpanderResult:
     history: list[EvolutionStats]
     levels: list[PortGraph]
     base_registry: list[BaseEdge]
-    level_registries: list[list[OverlayEdge]]
+    level_registries: list[EdgeRegistry]
     params: ExpanderParams
     rounds: int
 
@@ -127,7 +203,7 @@ class ExpanderBuilder:
         self.rng = rng
         self.record_traces = record_traces
         self.levels: list[PortGraph] = [base_graph]
-        self.level_registries: list[list[OverlayEdge]] = []
+        self.level_registries: list[EdgeRegistry] = []
         self.history: list[EvolutionStats] = []
 
     @property
@@ -154,22 +230,13 @@ class ExpanderBuilder:
         origins_acc = walk.origins[accepted]
         endpoints_acc = walk.endpoints[accepted]
 
-        registry: list[OverlayEdge] = []
+        traces = None
         if self.record_traces:
-            for token_idx in accepted.tolist():
-                registry.append(
-                    OverlayEdge(
-                        origin=int(walk.origins[token_idx]),
-                        endpoint=int(walk.endpoints[token_idx]),
-                        node_trace=walk.node_traces[token_idx].copy(),
-                        edge_trace=walk.edge_traces[token_idx].copy(),
-                    )
-                )
-        else:
-            registry = [
-                OverlayEdge(origin=int(o), endpoint=int(e))
-                for o, e in zip(origins_acc.tolist(), endpoints_acc.tolist())
+            traces = [
+                (walk.node_traces[i].copy(), walk.edge_traces[i].copy())
+                for i in accepted.tolist()
             ]
+        registry = EdgeRegistry(origins_acc, endpoints_acc, traces)
 
         new_graph = PortGraph.from_edge_multiset(
             n=n,

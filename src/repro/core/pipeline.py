@@ -18,6 +18,7 @@ history used by the conductance-growth experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,7 +32,49 @@ from repro.core.params import ExpanderParams
 from repro.graphs.analysis import diameter
 from repro.graphs.portgraph import PortGraph
 
-__all__ = ["OverlayBuildResult", "build_well_formed_tree"]
+__all__ = ["OverlayBuildResult", "build_well_formed_tree", "ROOTING_MODES"]
+
+#: How step 3 (rooting) executes: ``"reference"`` runs the centralised
+#: adjacency-loop oracle of :mod:`repro.core.bfs`; ``"protocol"`` and
+#: ``"batch"`` run the real message-level protocol of
+#: :mod:`repro.core.protocol_tree` on the NCC0 simulator (object nodes
+#: vs. batched int64 columns).  All three produce the identical tree;
+#: ``"batch"`` is what keeps the pipeline practical at ``n ≥ 10⁵``.
+ROOTING_MODES = ("reference", "protocol", "batch")
+
+
+def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BFSForest:
+    """Run the message-level rooting phase and adapt it to a BFSForest."""
+    from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
+
+    n = graph.n
+    # The paper's budget: L ≥ log n ≥ diameter rounds of flooding.  The
+    # final expander's diameter is O(log n) w.h.p.; the doubled budget
+    # absorbs the constant, and an insufficient flood surfaces as a
+    # multiple-root RuntimeError rather than a silently wrong tree.
+    flood_rounds = 2 * max(1, math.ceil(math.log2(max(2, n)))) + 2
+    runner = run_batch_rooting if mode == "batch" else run_protocol_rooting
+    try:
+        result = runner(graph, flood_rounds=flood_rounds, rng=rng)
+    except RuntimeError as exc:
+        from repro.graphs.analysis import is_connected
+
+        # Keep the pipeline's mode-independent contract for the common
+        # failure — but only when the graph really is disconnected; a
+        # connected graph that outran the flood/round budget keeps its
+        # original diagnosis.
+        if not is_connected(graph.neighbor_sets()):
+            raise ValueError(
+                "input graph is disconnected; use repro.hybrid.components for forests"
+            ) from exc
+        raise
+    return BFSForest(
+        parent=result.parent,
+        depth=result.depth,
+        root_of=np.full(n, result.root, dtype=np.int64),
+        roots=[result.root],
+        rounds=result.rounds,
+    )
 
 
 @dataclass
@@ -87,6 +130,7 @@ def build_well_formed_tree(
     gap_threshold: float | None = None,
     track_gap: bool = False,
     verify_benign: bool = False,
+    rooting: str = "reference",
 ) -> OverlayBuildResult:
     """Run the complete Theorem 1.1 construction on ``graph``.
 
@@ -107,6 +151,12 @@ def build_well_formed_tree(
     verify_benign:
         Assert Definition 2.1 on every evolution graph (testing aid;
         raises on violation).
+    rooting:
+        One of :data:`ROOTING_MODES`: the centralised ``"reference"``
+        oracle (default), or the message-level ``"protocol"`` /
+        ``"batch"`` executions on the NCC0 simulator.  All three build
+        the identical tree; ``"batch"`` avoids the oracle's per-edge
+        Python loops at large ``n``.
 
     Returns
     -------
@@ -114,6 +164,8 @@ def build_well_formed_tree(
         With a round ledger satisfying, w.h.p.,
         ``total_rounds = O(log n)`` for constant-degree inputs.
     """
+    if rooting not in ROOTING_MODES:
+        raise ValueError(f"rooting must be one of {ROOTING_MODES}, got {rooting!r}")
     if rng is None:
         rng = np.random.default_rng(0)
 
@@ -140,7 +192,10 @@ def build_well_formed_tree(
                     f"evolution graph at level {level} violates Definition 2.1: {report}"
                 )
 
-    bfs = build_bfs_forest(expander.final_graph)
+    if rooting == "reference":
+        bfs = build_bfs_forest(expander.final_graph)
+    else:
+        bfs = _rooting_forest(expander.final_graph, rooting, rng)
     if len(bfs.roots) != 1:
         raise ValueError(
             "input graph is disconnected; use repro.hybrid.components for forests"

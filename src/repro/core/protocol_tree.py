@@ -13,10 +13,25 @@ node-by-node on the same simulator:
    offering id (the same rule as the reference BFS, so the two are
    cross-checkable).
 
-Every announcement is a real :class:`repro.net.message.Message` subject
-to the NCC0 send/receive budgets.  A node sends at most one message per
-distinct neighbour per round (≤ `Δ` = the capacity), so no drops occur —
-asserted by the tests.
+Every announcement is a real message subject to the NCC0 send/receive
+budgets.  A node sends at most one message per distinct neighbour per
+round (≤ `Δ` = the capacity), so no drops occur — asserted by the tests.
+
+Two node implementations execute the identical protocol:
+
+- :class:`_RootingNode` — per-:class:`~repro.net.message.Message` objects
+  (:func:`run_protocol_rooting`), the plainly written oracle;
+- :class:`BatchRootingNode` — :class:`~repro.net.batch.MessageBatch`
+  int64 columns (:func:`run_batch_rooting`), whose BFS offers carry
+  ``(depth, offerer)`` pairs on the two payload lanes so the packet is
+  self-contained.  On the vectorized engine a round of flooding moves as
+  one flat buffer, which is what makes rooting practical at ``n ≥ 10⁵``
+  (see ``benchmarks/bench_s2_rooting_scaling.py``).
+
+Both produce bit-for-bit identical ``(root, parent, depth)`` arrays and
+metrics under the same seed — enforced by
+``tests/core/test_batch_rooting.py`` against each other and against the
+reference :mod:`repro.core.bfs`.
 
 The final rebalancing (child–sibling + Euler tour) is charged
 analytically by the pipeline (DESIGN.md §2.7); its message pattern is one
@@ -31,10 +46,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.portgraph import PortGraph
+from repro.net.asynchrony import AsyncReport, run_with_asynchrony
+from repro.net.batch import KINDS, MessageBatch
 from repro.net.message import Message
-from repro.net.network import CapacityPolicy, NetworkMetrics, ProtocolNode, SyncNetwork
+from repro.net.network import (
+    BatchProtocolNode,
+    CapacityPolicy,
+    NetworkMetrics,
+    ProtocolNode,
+    SyncNetwork,
+)
 
-__all__ = ["TreeProtocolResult", "run_protocol_rooting"]
+__all__ = [
+    "TreeProtocolResult",
+    "BatchRootingNode",
+    "run_protocol_rooting",
+    "run_batch_rooting",
+    "run_rooting_under_asynchrony",
+]
+
+MIN_ID = KINDS.code("min_id")
+BFS_OFFER = KINDS.code("bfs_offer")
 
 
 class _RootingNode(ProtocolNode):
@@ -52,21 +84,25 @@ class _RootingNode(ProtocolNode):
 
     def on_round(self, round_no: int, inbox: list[Message]) -> list[Message]:
         out: list[Message] = []
-        if round_no < self.flood_rounds:
-            # Flooding phase: adopt and re-announce the minimum id.
+        if round_no <= self.flood_rounds:
+            # Flooding phase: adopt and re-announce the minimum id.  The
+            # inbox of round ``flood_rounds`` (messages *sent* in the last
+            # flooding round) is still processed — discarding it would cut
+            # the flood one hop short, so with ``flood_rounds == diameter``
+            # several nodes would still believe themselves minimal.
             for msg in inbox:
                 if msg.kind == "min_id" and msg.payload < self.best:
                     self.best = msg.payload
-            out.extend(
-                Message(self.node_id, u, "min_id", self.best)
-                for u in self.neighbors
-            )
-            return out
-
-        if round_no == self.flood_rounds and self.best == self.node_id:
-            # Flooding converged: the unique minimum roots the BFS.
-            self.parent = self.node_id
-            self.depth = 0
+            if round_no < self.flood_rounds:
+                out.extend(
+                    Message(self.node_id, u, "min_id", self.best)
+                    for u in self.neighbors
+                )
+                return out
+            if self.best == self.node_id:
+                # Flooding converged: the unique minimum roots the BFS.
+                self.parent = self.node_id
+                self.depth = 0
 
         offers = [
             msg for msg in inbox if msg.kind == "bfs_offer"
@@ -89,6 +125,84 @@ class _RootingNode(ProtocolNode):
         return self._done
 
 
+class BatchRootingNode(BatchProtocolNode):
+    """Batched flooding + BFS node: one :class:`MessageBatch` per round.
+
+    Identical round schedule and tie-breaks as :class:`_RootingNode`
+    (differentially tested); its BFS offers carry ``(depth, offerer)``
+    pairs on the two payload lanes, so the offer packet is self-contained
+    rather than leaning on the simulator's sender attribution.
+    """
+
+    def __init__(self, node_id: int, neighbors: list[int], flood_rounds: int) -> None:
+        super().__init__(node_id)
+        self.neighbors = np.asarray(sorted(set(neighbors)), dtype=np.int64)
+        self.flood_rounds = flood_rounds
+        self.best = node_id
+        self.parent = -1
+        self.depth = -1
+        self._announced_depth = False
+        self._done = False
+        # The flooding announcement is the same batch every round except
+        # for its payload value, so build it once and rewrite the payload
+        # buffer in place when ``best`` improves.  (Safe: the engine copies
+        # a round's columns during delivery, before the next round runs.)
+        deg = self.neighbors.shape[0]
+        self._flood_payloads = np.full(deg, node_id, dtype=np.int64)
+        self._flood_batch = (
+            MessageBatch._raw(node_id, self.neighbors, MIN_ID, self._flood_payloads)
+            if deg
+            else None
+        )
+
+    def on_round_batch(self, round_no: int, inbox: MessageBatch) -> MessageBatch | None:
+        out: MessageBatch | None = None
+        if round_no <= self.flood_rounds:
+            # Same final-inbox rule as the object node: round
+            # ``flood_rounds`` still folds in the last flooding wave.
+            heard = inbox.payloads_of_kind(MIN_ID)
+            if heard.shape[0]:
+                low = heard.min()
+                if low < self.best:
+                    self.best = int(low)
+                    self._flood_payloads[:] = self.best
+            if round_no < self.flood_rounds:
+                return self._flood_batch
+            if self.best == self.node_id:
+                self.parent = self.node_id
+                self.depth = 0
+
+        if self.parent < 0:
+            offers = inbox.of_kind(BFS_OFFER)
+            if len(offers):
+                depths = offers.payloads
+                offerers = offers.payloads2
+                # Offers arriving in one round are level-synchronous (all
+                # the same depth), so the lexicographic (depth, offerer)
+                # minimum reduces to the object node's min-sender rule —
+                # while also guarding the mixed-depth case.
+                j = int(np.lexsort((offerers, depths))[0])
+                self.parent = int(offerers[j])
+                self.depth = int(depths[j]) + 1
+        if self.parent >= 0 and not self._announced_depth:
+            self._announced_depth = True
+            targets = self.neighbors[self.neighbors != self.parent]
+            k = targets.shape[0]
+            if k:
+                out = MessageBatch._raw(
+                    self.node_id,
+                    targets,
+                    BFS_OFFER,
+                    np.full(k, self.depth, dtype=np.int64),
+                    np.full(k, self.node_id, dtype=np.int64),
+                )
+        self._done = self.parent >= 0 and self._announced_depth
+        return out
+
+    def is_idle(self) -> bool:
+        return self._done
+
+
 @dataclass
 class TreeProtocolResult:
     """Outcome of the message-level rooting phase."""
@@ -100,50 +214,20 @@ class TreeProtocolResult:
     rounds: int
 
 
-def run_protocol_rooting(
-    graph: PortGraph,
-    flood_rounds: int,
-    rng: np.random.Generator | None = None,
-    capacity: CapacityPolicy | None = None,
-    max_rounds: int | None = None,
-) -> TreeProtocolResult:
-    """Execute flooding + BFS message-by-message on an overlay graph.
-
-    Parameters
-    ----------
-    graph:
-        The (connected) expander :class:`PortGraph` produced by the
-        evolution phase.
-    flood_rounds:
-        Length of the flooding phase; the paper uses the known bound
-        ``L ≥ log n ≥ diameter`` rounds.  If flooding has not stabilised
-        by then the BFS may root at a non-minimum id — callers pass the
-        same `O(log n)` budget the paper assumes.
-    capacity:
-        NCC0 budget; defaults to ``Δ`` messages per round, matching the
-        evolution phase.
-
-    Raises
-    ------
-    RuntimeError
-        If the BFS fails to span within ``max_rounds`` (disconnected
-        input or starved capacity).
-    """
-    if rng is None:
-        rng = np.random.default_rng(0)
-    n = graph.n
-    if capacity is None:
-        capacity = CapacityPolicy.ncc0(n, graph.delta)
+def _build_nodes(
+    graph: PortGraph, flood_rounds: int, node_cls
+) -> dict[int, ProtocolNode]:
+    # Both node constructors normalise with sorted(set(...)) themselves.
     neighbor_sets = graph.neighbor_sets()
-    nodes = {
-        v: _RootingNode(v, sorted(neighbor_sets[v]), flood_rounds)
-        for v in range(n)
+    return {
+        v: node_cls(v, neighbor_sets[v], flood_rounds) for v in range(graph.n)
     }
-    network = SyncNetwork(nodes, capacity, rng)
-    if max_rounds is None:
-        max_rounds = flood_rounds + 4 * flood_rounds + 8
-    metrics = network.run(max_rounds=max_rounds)
 
+
+def _collect_result(
+    nodes: dict[int, ProtocolNode], n: int, metrics: NetworkMetrics
+) -> TreeProtocolResult:
+    """Validate the nodes' final state and assemble the result arrays."""
     parent = np.array([nodes[v].parent for v in range(n)], dtype=np.int64)
     depth = np.array([nodes[v].depth for v in range(n)], dtype=np.int64)
     if (parent < 0).any():
@@ -159,3 +243,130 @@ def run_protocol_rooting(
         metrics=metrics,
         rounds=metrics.rounds,
     )
+
+
+def _resolve_defaults(
+    graph: PortGraph,
+    flood_rounds: int,
+    rng: np.random.Generator | None,
+    capacity: CapacityPolicy | None,
+    max_rounds: int | None,
+) -> tuple[np.random.Generator, CapacityPolicy, int]:
+    """Default RNG / NCC0 budget / round budget, shared by every runner."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if capacity is None:
+        capacity = CapacityPolicy.ncc0(graph.n, graph.delta)
+    if max_rounds is None:
+        max_rounds = flood_rounds + 4 * flood_rounds + 8
+    return rng, capacity, max_rounds
+
+
+def _run_rooting(
+    node_cls,
+    graph: PortGraph,
+    flood_rounds: int,
+    rng: np.random.Generator | None,
+    capacity: CapacityPolicy | None,
+    max_rounds: int | None,
+    engine: str,
+) -> TreeProtocolResult:
+    """Shared scaffold for the object and batched rooting runners."""
+    rng, capacity, max_rounds = _resolve_defaults(
+        graph, flood_rounds, rng, capacity, max_rounds
+    )
+    nodes = _build_nodes(graph, flood_rounds, node_cls)
+    network = SyncNetwork(nodes, capacity, rng, engine=engine)
+    metrics = network.run(max_rounds=max_rounds)
+    return _collect_result(nodes, graph.n, metrics)
+
+
+def run_protocol_rooting(
+    graph: PortGraph,
+    flood_rounds: int,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    max_rounds: int | None = None,
+    engine: str = "vectorized",
+) -> TreeProtocolResult:
+    """Execute flooding + BFS message-by-message on an overlay graph.
+
+    Parameters
+    ----------
+    graph:
+        The (connected) expander :class:`PortGraph` produced by the
+        evolution phase.
+    flood_rounds:
+        Length of the flooding phase; the paper uses the known bound
+        ``L ≥ log n ≥ diameter`` rounds.  The flood reaches exactly
+        ``flood_rounds`` hops (the final wave's inbox is processed before
+        the BFS hand-off), so ``flood_rounds == diameter`` suffices.  If
+        flooding has not stabilised by then the BFS may root at a
+        non-minimum id — callers pass the same `O(log n)` budget the
+        paper assumes.
+    capacity:
+        NCC0 budget; defaults to ``Δ`` messages per round, matching the
+        evolution phase.
+    engine:
+        Network delivery engine (``"vectorized"`` or ``"legacy"``).
+
+    Raises
+    ------
+    RuntimeError
+        If the BFS fails to span within ``max_rounds`` (disconnected
+        input or starved capacity).
+    """
+    return _run_rooting(
+        _RootingNode, graph, flood_rounds, rng, capacity, max_rounds, engine
+    )
+
+
+def run_batch_rooting(
+    graph: PortGraph,
+    flood_rounds: int,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    max_rounds: int | None = None,
+    engine: str = "vectorized",
+) -> TreeProtocolResult:
+    """Batched counterpart of :func:`run_protocol_rooting`.
+
+    Drop-in: same inputs, same :class:`TreeProtocolResult`, bit-for-bit
+    identical ``(root, parent, depth)`` and metrics under the same seed —
+    only the message representation (int64 columns vs. objects) differs.
+    Running batch nodes on the ``"legacy"`` engine is supported (messages
+    materialise at the network boundary) and is how the differential
+    tests cross-check the vectorized path.
+    """
+    return _run_rooting(
+        BatchRootingNode, graph, flood_rounds, rng, capacity, max_rounds, engine
+    )
+
+
+def run_rooting_under_asynchrony(
+    graph: PortGraph,
+    flood_rounds: int,
+    max_delay: int,
+    rng: np.random.Generator | None = None,
+    capacity: CapacityPolicy | None = None,
+    max_rounds: int | None = None,
+    engine: str = "vectorized",
+    batched: bool = True,
+) -> tuple[TreeProtocolResult, AsyncReport]:
+    """Rooting under the footnote-2 synchroniser, batched by default.
+
+    Convenience wiring for churn/delay workloads: builds the rooting
+    nodes (:class:`BatchRootingNode` unless ``batched=False``), runs them
+    through :func:`repro.net.asynchrony.run_with_asynchrony`, and returns
+    the usual :class:`TreeProtocolResult` plus the dilation report.
+    Because the synchroniser's delay stream is independent of delivery,
+    the tree is identical to the synchronous run's under the same seed.
+    """
+    rng, capacity, max_rounds = _resolve_defaults(
+        graph, flood_rounds, rng, capacity, max_rounds
+    )
+    nodes = _build_nodes(graph, flood_rounds, BatchRootingNode if batched else _RootingNode)
+    report, network = run_with_asynchrony(
+        nodes, capacity, rng, max_delay, max_rounds, engine=engine
+    )
+    return _collect_result(nodes, graph.n, network.metrics), report

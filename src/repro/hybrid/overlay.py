@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.benign import BaseEdge
-from repro.core.expander import EvolutionStats, OverlayEdge, _accept_tokens
+from repro.core.expander import EdgeRegistry, EvolutionStats, OverlayEdge, _accept_tokens
 from repro.core.walks import run_token_walks
 from repro.graphs.portgraph import PortGraph
 from repro.graphs.spectral import spectral_gap
@@ -112,7 +112,7 @@ class HybridOverlayResult:
     history: list[EvolutionStats]
     levels: list[PortGraph]
     base_registry: list[BaseEdge]
-    level_registries: list[list[OverlayEdge]]
+    level_registries: list[EdgeRegistry]
     params: HybridOverlayParams
     ledger: HybridLedger = field(default_factory=HybridLedger)
 
@@ -138,7 +138,7 @@ class HybridExpanderBuilder:
         self.rng = rng
         self.record_traces = record_traces
         self.levels: list[PortGraph] = [base_graph]
-        self.level_registries: list[list[OverlayEdge]] = []
+        self.level_registries: list[EdgeRegistry] = []
         self.history: list[EvolutionStats] = []
         self.ledger = HybridLedger()
 
@@ -183,22 +183,13 @@ class HybridExpanderBuilder:
         origins_acc = walk.origins[accepted]
         endpoints_acc = walk.endpoints[accepted]
 
-        registry: list[OverlayEdge] = []
+        traces = None
         if self.record_traces:
-            for token_idx in accepted.tolist():
-                registry.append(
-                    OverlayEdge(
-                        origin=int(walk.origins[token_idx]),
-                        endpoint=int(walk.endpoints[token_idx]),
-                        node_trace=walk.node_traces[token_idx].copy(),
-                        edge_trace=walk.edge_traces[token_idx].copy(),
-                    )
-                )
-        else:
-            registry = [
-                OverlayEdge(origin=int(o), endpoint=int(e))
-                for o, e in zip(origins_acc.tolist(), endpoints_acc.tolist())
+            traces = [
+                (walk.node_traces[i].copy(), walk.edge_traces[i].copy())
+                for i in accepted.tolist()
             ]
+        registry = EdgeRegistry(origins_acc, endpoints_acc, traces)
 
         # Rescue rule (documented deviation, DESIGN.md §2.9): on very
         # small components, *all* of a node's surviving tokens may have
@@ -209,19 +200,13 @@ class HybridExpanderBuilder:
         # provenance is the previous-level edge it duplicates, so the
         # spanning-tree unwinding is unaffected.  W.h.p. the rule never
         # fires above tiny component sizes.
-        rescue_a, rescue_b, rescue_edges = self._rescue_isolated(
-            graph, origins_acc, endpoints_acc
-        )
-        if rescue_a:
-            origins_acc = np.concatenate([origins_acc, np.array(rescue_a, dtype=np.int64)])
-            endpoints_acc = np.concatenate([endpoints_acc, np.array(rescue_b, dtype=np.int64)])
-            registry.extend(rescue_edges)
+        registry.extend(self._rescue_isolated(graph, origins_acc, endpoints_acc))
 
         new_graph = PortGraph.from_edge_multiset(
             n=n,
             delta=params.delta,
-            endpoints_a=origins_acc,
-            endpoints_b=endpoints_acc,
+            endpoints_a=registry.origins,
+            endpoints_b=registry.endpoints,
             edge_ids=np.arange(len(registry), dtype=np.int64),
         )
 
@@ -251,11 +236,11 @@ class HybridExpanderBuilder:
         previous: PortGraph,
         origins_acc: np.ndarray,
         endpoints_acc: np.ndarray,
-    ) -> tuple[list[int], list[int], list[OverlayEdge]]:
+    ) -> list[OverlayEdge]:
         """Re-link nodes whose accepted tokens produced no real edge.
 
-        Returns extra edge endpoints plus their provenance entries (one
-        step over the duplicated previous-level edge).
+        Returns the extra edges' provenance entries (one step over the
+        duplicated previous-level edge each).
         """
         n = previous.n
         real = np.zeros(n, dtype=np.int64)
@@ -264,8 +249,6 @@ class HybridExpanderBuilder:
             real += np.bincount(origins_acc[cross], minlength=n)
             real += np.bincount(endpoints_acc[cross], minlength=n)
         isolated = np.nonzero((real == 0) & (previous.real_degree() > 0))[0]
-        rescue_a: list[int] = []
-        rescue_b: list[int] = []
         entries: list[OverlayEdge] = []
         for v in isolated.tolist():
             seen: set[int] = set()
@@ -274,8 +257,6 @@ class HybridExpanderBuilder:
                 if u == v or u in seen:
                     continue
                 seen.add(u)
-                rescue_a.append(v)
-                rescue_b.append(u)
                 eid = int(previous.port_edge_ids[v, k]) if previous.port_edge_ids is not None else -1
                 entries.append(
                     OverlayEdge(
@@ -289,7 +270,7 @@ class HybridExpanderBuilder:
                         else None,
                     )
                 )
-        return rescue_a, rescue_b, entries
+        return entries
 
     def run(
         self,

@@ -15,6 +15,24 @@ the synchronous execution while the wall-clock dilates by the slowest
 link.  :class:`AsyncReport` records both the logical rounds and the
 elapsed time units, quantifying the footnote's "as fast as the slowest
 part" caveat.
+
+Two contracts are enforced here (both regression-tested in
+``tests/net/test_asynchrony.py``):
+
+- **RNG independence.**  Delay samples are drawn from an independent
+  ``rng.spawn()`` stream, never from the generator that drives network
+  delivery — so the protocol execution is bit-for-bit the synchronous one
+  under the same seed, including capacity-truncation draws.
+- **Explicit non-convergence.**  Exhausting ``max_rounds`` without
+  reaching quiescence raises (matching
+  :func:`repro.core.protocol_tree.run_protocol_rooting`); callers opting
+  out via ``require_quiescence=False`` get ``report.converged == False``
+  instead of a silently truncated run.
+
+Both node representations run here: pass :class:`BatchProtocolNode`
+instances and ``engine="vectorized"`` (the default) and the delayed
+workload moves through the flat-buffer delivery path — churn/delay
+experiments are no longer limited to object nodes.
 """
 
 from __future__ import annotations
@@ -36,6 +54,7 @@ class AsyncReport:
     max_delay: int
     elapsed_time_units: int
     observed_max_delay: int
+    converged: bool = True
 
     @property
     def dilation(self) -> float:
@@ -51,6 +70,8 @@ def run_with_asynchrony(
     rng: np.random.Generator,
     max_delay: int,
     max_rounds: int,
+    engine: str = "vectorized",
+    require_quiescence: bool = True,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Run a protocol under random message delays with a synchroniser.
 
@@ -62,15 +83,32 @@ def run_with_asynchrony(
     protocol on the standard :class:`SyncNetwork` while accounting the
     asynchronous clock, and reports the dilation.
 
+    ``engine`` selects the delivery engine; batch nodes on the default
+    ``"vectorized"`` engine never materialise per-message objects, so
+    delayed large-``n`` workloads run at batched speed.
+
     Returns the timing report and the (already run) network, whose nodes
     hold the protocol's results.
+
+    Raises
+    ------
+    RuntimeError
+        If ``max_rounds`` elapses before the network quiesces (no idle
+        break fired) and ``require_quiescence`` is True.  With
+        ``require_quiescence=False`` the truncation is flagged on
+        ``AsyncReport.converged`` instead.
     """
     if max_delay < 1:
         raise ValueError("max_delay must be >= 1")
-    network = SyncNetwork(nodes, capacity, rng)
+    # Delay sampling must not perturb the delivery stream: drawing from
+    # ``rng`` itself would interleave with capacity-truncation draws and
+    # diverge the execution from the synchronous one under the same seed.
+    delay_rng = rng.spawn(1)[0]
+    network = SyncNetwork(nodes, capacity, rng, engine=engine)
     observed = 0
     rounds = 0
     previous_total = 0
+    converged = False
     for _ in range(max_rounds):
         network.run_round()
         rounds += 1
@@ -79,15 +117,22 @@ def run_with_asynchrony(
         sent_this_round = network.metrics.total_messages - previous_total
         previous_total = network.metrics.total_messages
         if sent_this_round:
-            delays = rng.integers(1, max_delay + 1, size=min(sent_this_round, 4096))
+            delays = delay_rng.integers(1, max_delay + 1, size=min(sent_this_round, 4096))
             observed = max(observed, int(delays.max(initial=0)))
         in_flight = network.pending_messages() > 0
         if not in_flight and all(node.is_idle() for node in network.nodes.values()):
+            converged = True
             break
+    if not converged and require_quiescence:
+        raise RuntimeError(
+            f"asynchronous run did not quiesce within {max_rounds} rounds "
+            f"({network.pending_messages()} messages still in flight)"
+        )
     report = AsyncReport(
         logical_rounds=rounds,
         max_delay=max_delay,
         elapsed_time_units=rounds * max_delay,
         observed_max_delay=observed,
+        converged=converged,
     )
     return report, network

@@ -18,10 +18,12 @@ Design notes
   node emits one batch of one kind per round).  This keeps per-node
   construction O(1) python work; ``senders_array()`` etc. materialise full
   columns on demand.
-- **Payloads are integers.**  A batch payload is a single ``int64`` per
-  message (a node identifier, matching the paper's ``O(log n)``-bit
-  packets).  Object messages with non-integer payloads cannot be delivered
-  to a batch node — the engine raises ``TypeError``.
+- **Payloads are integers.**  A batch payload is one ``int64`` per message
+  — or an ``(int64, int64)`` pair when the optional second payload lane
+  ``payloads2`` is attached (e.g. the rooting phase's ``(depth, offerer)``
+  BFS offers).  Either shape matches the paper's ``O(log n)``-bit packets.
+  Object messages whose payloads are neither integers nor integer pairs
+  cannot be delivered to a batch node — the engine raises ``TypeError``.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ import numpy as np
 
 from repro.net.message import Message
 
-__all__ = ["KindTable", "KINDS", "MessageBatch"]
+__all__ = ["KindTable", "KINDS", "MessageBatch", "pair_payload"]
 
 
 class KindTable:
@@ -57,6 +59,20 @@ class KindTable:
 KINDS = KindTable()
 
 
+def pair_payload(payload) -> tuple[int, int] | None:
+    """``(a, b)`` if ``payload`` is a pair of integers, else ``None``.
+
+    The single predicate deciding which object-message payloads map onto
+    the two batch payload lanes; shared by :meth:`MessageBatch.from_messages`
+    and the vectorized engine's object-chunk packing.
+    """
+    if isinstance(payload, tuple) and len(payload) == 2:
+        a, b = payload
+        if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+            return int(a), int(b)
+    return None
+
+
 def _as_column(value, length: int, what: str) -> np.ndarray:
     arr = np.asarray(value, dtype=np.int64)
     if arr.ndim == 0:
@@ -71,11 +87,16 @@ class MessageBatch:
 
     ``receivers`` and ``payloads`` are always arrays; ``senders`` and
     ``kinds`` may be scalars meaning "uniform across the batch".
+    ``payloads2`` is an optional second payload lane (``None`` when the
+    batch carries single-integer payloads): protocols whose packets are
+    integer *pairs* — e.g. the rooting phase's ``(depth, offerer)`` BFS
+    offers — put the first component in ``payloads`` and the second in
+    ``payloads2``.
     """
 
-    __slots__ = ("senders", "receivers", "kinds", "payloads")
+    __slots__ = ("senders", "receivers", "kinds", "payloads", "payloads2")
 
-    def __init__(self, senders, receivers, kinds, payloads=None) -> None:
+    def __init__(self, senders, receivers, kinds, payloads=None, payloads2=None) -> None:
         self.receivers = np.asarray(receivers, dtype=np.int64)
         if self.receivers.ndim != 1:
             raise ValueError("receivers must be a 1-d array")
@@ -89,10 +110,13 @@ class MessageBatch:
         if payloads is None:
             payloads = np.zeros(m, dtype=np.int64)
         self.payloads = _as_column(payloads, m, "payloads")
+        self.payloads2 = (
+            None if payloads2 is None else _as_column(payloads2, m, "payloads2")
+        )
 
     # ------------------------------------------------------------------
     @classmethod
-    def _raw(cls, senders, receivers, kinds, payloads) -> "MessageBatch":
+    def _raw(cls, senders, receivers, kinds, payloads, payloads2=None) -> "MessageBatch":
         """Unvalidated constructor for engine/protocol hot paths.
 
         Columns are stored exactly as given (arrays may be views into
@@ -104,6 +128,7 @@ class MessageBatch:
         batch.receivers = receivers
         batch.kinds = kinds
         batch.payloads = payloads
+        batch.payloads2 = payloads2
         return batch
 
     def __len__(self) -> int:
@@ -120,6 +145,33 @@ class MessageBatch:
         return self.kinds
 
     # ------------------------------------------------------------------
+    def payloads_of_kind(self, kind: int) -> np.ndarray:
+        """Primary payload column of the messages of kind ``kind``.
+
+        The cheap single-lane filter used by protocol hot paths (no
+        sub-batch object, no sender/secondary-lane indexing).
+        """
+        kinds = self.kinds
+        if type(kinds) is np.ndarray:
+            return self.payloads[kinds == kind]
+        return self.payloads if kinds == kind else _NO_COLUMN
+
+    def of_kind(self, kind: int) -> "MessageBatch":
+        """Sub-batch of the messages of kind ``kind`` (columns as views)."""
+        kinds = self.kinds
+        if type(kinds) is not np.ndarray:
+            return self if kinds == kind else _EMPTY
+        mask = kinds == kind
+        senders = self.senders
+        return MessageBatch._raw(
+            senders[mask] if type(senders) is np.ndarray else senders,
+            self.receivers[mask],
+            kind,
+            self.payloads[mask],
+            self.payloads2[mask] if self.payloads2 is not None else None,
+        )
+
+    # ------------------------------------------------------------------
     @classmethod
     def empty(cls) -> "MessageBatch":
         """The shared empty batch (treat as immutable)."""
@@ -132,37 +184,73 @@ class MessageBatch:
             return cls.empty()
         if len(batches) == 1:
             return batches[0]
+        if any(b.payloads2 is not None for b in batches):
+            # Lane-less batches zero-fill the secondary lane — the same
+            # convention ``from_messages`` applies to mixed inboxes.
+            payloads2 = np.concatenate(
+                [
+                    b.payloads2
+                    if b.payloads2 is not None
+                    else np.zeros(len(b), dtype=np.int64)
+                    for b in batches
+                ]
+            )
+        else:
+            payloads2 = None
         return cls(
             np.concatenate([b.senders_array() for b in batches]),
             np.concatenate([b.receivers for b in batches]),
             np.concatenate([b.kinds_array() for b in batches]),
             np.concatenate([b.payloads for b in batches]),
+            payloads2,
         )
 
     @classmethod
     def from_messages(cls, messages: list[Message]) -> "MessageBatch":
-        """Convert object messages (integer payloads only) to a batch."""
+        """Convert object messages (integer or integer-pair payloads) to a
+        batch.  A pair payload ``(a, b)`` lands in the two payload lanes;
+        in a mixed batch the single-integer messages zero-fill lane two."""
         m = len(messages)
         senders = np.empty(m, dtype=np.int64)
         receivers = np.empty(m, dtype=np.int64)
         kinds = np.empty(m, dtype=np.int64)
         payloads = np.empty(m, dtype=np.int64)
+        payloads2 = None
         for i, msg in enumerate(messages):
-            if not isinstance(msg.payload, (int, np.integer)):
-                raise TypeError(
-                    f"batch conversion requires integer payloads, got "
-                    f"{type(msg.payload).__name__} in {msg!r}"
-                )
+            if isinstance(msg.payload, (int, np.integer)):
+                payloads[i] = msg.payload
+            else:
+                pair = pair_payload(msg.payload)
+                if pair is None:
+                    raise TypeError(
+                        f"batch conversion requires integer or integer-pair "
+                        f"payloads, got {type(msg.payload).__name__} in {msg!r}"
+                    )
+                if payloads2 is None:
+                    payloads2 = np.zeros(m, dtype=np.int64)
+                payloads[i], payloads2[i] = pair
             senders[i] = msg.sender
             receivers[i] = msg.receiver
             kinds[i] = KINDS.code(msg.kind)
-            payloads[i] = msg.payload
-        return cls(senders, receivers, kinds, payloads)
+        return cls(senders, receivers, kinds, payloads, payloads2)
 
     def to_messages(self) -> list[Message]:
-        """Materialise per-message objects (interop with object nodes)."""
+        """Materialise per-message objects (interop with object nodes).
+
+        A batch with a secondary payload lane yields pair payloads.
+        """
         senders = self.senders_array()
         kinds = self.kinds_array()
+        if self.payloads2 is not None:
+            return [
+                Message(
+                    int(senders[i]),
+                    int(self.receivers[i]),
+                    KINDS.name(int(kinds[i])),
+                    (int(self.payloads[i]), int(self.payloads2[i])),
+                )
+                for i in range(len(self))
+            ]
         return [
             Message(int(senders[i]), int(self.receivers[i]), KINDS.name(int(kinds[i])), int(self.payloads[i]))
             for i in range(len(self))
@@ -172,4 +260,5 @@ class MessageBatch:
         return f"MessageBatch(len={len(self)})"
 
 
+_NO_COLUMN = np.empty(0, dtype=np.int64)
 _EMPTY = MessageBatch._raw(0, np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64))

@@ -49,7 +49,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.net.batch import KINDS, MessageBatch
+from repro.net.batch import KINDS, MessageBatch, pair_payload
 from repro.net.message import Message
 from repro.net.vectorops import needs_truncation, segmented_keep_indices
 
@@ -174,8 +174,9 @@ class BatchProtocolNode(ProtocolNode):
     ``MessageBatch`` (or ``None``) back from :meth:`on_round_batch`; the
     implicit sender of every emitted message is the node itself (scalar
     ``senders`` recommended — forging another sender raises, exactly as
-    for object nodes).  Payloads are single ``int64`` values, matching the
-    paper's ``O(log n)``-bit packets.
+    for object nodes).  Payloads are single ``int64`` values, or
+    ``(int64, int64)`` pairs via the optional ``payloads2`` lane — either
+    way matching the paper's ``O(log n)``-bit packets.
     """
 
     def on_round_batch(self, round_no: int, inbox: MessageBatch) -> MessageBatch | None:
@@ -428,8 +429,11 @@ class SyncNetwork:
         kind_chunks: list = []  # array or scalar per chunk
         pay_chunks: list = []
         pay_ok_chunks: list = []  # True (all ok) or bool array
+        pay2_chunks: list = []  # None (no lane) or int64 array per chunk
+        has2_chunks: list = []  # False / True (whole chunk) or bool array
         any_objs = False
         any_pay_bad = False
+        any_pay2 = False
         round_kind: int | None = None
         uniform_kinds = True
 
@@ -452,18 +456,37 @@ class SyncNetwork:
                     )
                     pays = np.zeros(k, dtype=np.int64)
                     ok = np.ones(k, dtype=bool)
+                    pays2 = None
+                    has2 = None
                     for i, m in enumerate(produced):
                         if isinstance(m.payload, (int, np.integer)):
                             pays[i] = int(m.payload)
                         else:
-                            ok[i] = False
-                            any_pay_bad = True
+                            pair = pair_payload(m.payload)
+                            if pair is None:
+                                ok[i] = False
+                                any_pay_bad = True
+                            else:
+                                if pays2 is None:
+                                    pays2 = np.zeros(k, dtype=np.int64)
+                                    has2 = np.zeros(k, dtype=bool)
+                                pays[i], pays2[i] = pair
+                                has2[i] = True
                     pay_chunks.append(pays)
                     pay_ok_chunks.append(True if ok.all() else ok)
+                    if pays2 is None:
+                        pay2_chunks.append(None)
+                        has2_chunks.append(False)
+                    else:
+                        any_pay2 = True
+                        pay2_chunks.append(pays2)
+                        has2_chunks.append(True if has2.all() else has2)
                 else:
                     kind_chunks.append(0)
                     pay_chunks.append(None)
                     pay_ok_chunks.append(True)
+                    pay2_chunks.append(None)
+                    has2_chunks.append(False)
             else:
                 kinds = produced.kinds
                 if type(kinds) is np.ndarray:
@@ -479,6 +502,12 @@ class SyncNetwork:
                 kind_chunks.append(kinds)
                 pay_chunks.append(produced.payloads)
                 pay_ok_chunks.append(True)
+                pay2_chunks.append(produced.payloads2)
+                if produced.payloads2 is None:
+                    has2_chunks.append(False)
+                else:
+                    any_pay2 = True
+                    has2_chunks.append(True)
 
         if not rcv_chunks:
             self._pending_count = 0
@@ -523,6 +552,28 @@ class SyncNetwork:
                         pay_ok_all[offset : offset + length] = ok
                     offset += length
 
+        # ---- secondary payload lane (pair payloads) --------------------
+        # ``pay2_all`` zero-fills lane-less traffic; ``pay2_has_all`` is the
+        # per-message presence mask, or None when the whole round carries
+        # the lane (the common case: one pair-payload protocol per round).
+        pay2_all = pay2_has_all = None
+        if any_pay2:
+            pay2_all = np.zeros(m_total, dtype=np.int64)
+            offset = 0
+            for length, pays2 in zip(chunk_len, pay2_chunks):
+                if pays2 is not None:
+                    pay2_all[offset : offset + length] = pays2
+                offset += length
+            if not all(h is True for h in has2_chunks):
+                pay2_has_all = np.zeros(m_total, dtype=bool)
+                offset = 0
+                for length, has2 in zip(chunk_len, has2_chunks):
+                    if has2 is True:
+                        pay2_has_all[offset : offset + length] = True
+                    elif has2 is not False:
+                        pay2_has_all[offset : offset + length] = has2
+                    offset += length
+
         # ---- split off self-addressed traffic (bypasses the network) ---
         snd_real = snd_all if contiguous else ids[snd_all]
         local_mask = rcv_all == snd_real
@@ -533,6 +584,8 @@ class SyncNetwork:
             loc_kind = kind_all[loc_sel] if kind_all is not None else None
             loc_pay = pay_all[loc_sel] if pay_all is not None else None
             loc_ok = pay_ok_all[loc_sel] if pay_ok_all is not None else None
+            loc_pay2 = pay2_all[loc_sel] if pay2_all is not None else None
+            loc_has2 = pay2_has_all[loc_sel] if pay2_has_all is not None else None
             loc_objs = [objs[i] for i in loc_sel.tolist()] if objs is not None else None
             rcv_all = rcv_all[rem_sel]
             snd_all = snd_all[rem_sel]
@@ -542,17 +595,22 @@ class SyncNetwork:
                 pay_all = pay_all[rem_sel]
             if pay_ok_all is not None:
                 pay_ok_all = pay_ok_all[rem_sel]
+            if pay2_all is not None:
+                pay2_all = pay2_all[rem_sel]
+            if pay2_has_all is not None:
+                pay2_has_all = pay2_has_all[rem_sel]
             if objs is not None:
                 objs = [objs[i] for i in rem_sel.tolist()]
             m_total = rcv_all.shape[0]
             loc_count = loc_rcv_idx.shape[0]
         else:
             loc_rcv_idx = None
-            loc_kind = loc_pay = loc_ok = loc_objs = None
+            loc_kind = loc_pay = loc_ok = loc_pay2 = loc_has2 = loc_objs = None
             loc_count = 0
 
         def select(keep: np.ndarray):
             nonlocal rcv_all, snd_all, objs, kind_all, pay_all, pay_ok_all, m_total
+            nonlocal pay2_all, pay2_has_all
             rcv_all = rcv_all[keep]
             snd_all = snd_all[keep]
             if objs is not None:
@@ -563,6 +621,10 @@ class SyncNetwork:
                 pay_all = pay_all[keep]
             if pay_ok_all is not None:
                 pay_ok_all = pay_ok_all[keep]
+            if pay2_all is not None:
+                pay2_all = pay2_all[keep]
+            if pay2_has_all is not None:
+                pay2_has_all = pay2_has_all[keep]
             m_total = rcv_all.shape[0]
 
         # ---- send capacity --------------------------------------------
@@ -630,6 +692,12 @@ class SyncNetwork:
                 kind_all = np.concatenate([loc_kind, kind_all])
             if pay_all is not None:
                 pay_all = np.concatenate([loc_pay, pay_all])
+            if pay2_all is not None:
+                # Local and remote lanes always co-exist (both derive from
+                # the same pack), so no zero-fill is needed here.
+                pay2_all = np.concatenate([loc_pay2, pay2_all])
+                if pay2_has_all is not None:
+                    pay2_has_all = np.concatenate([loc_has2, pay2_has_all])
             if pay_ok_all is not None or loc_ok is not None:
                 ones = lambda k: np.ones(k, dtype=bool)  # noqa: E731
                 pay_ok_all = np.concatenate(
@@ -654,6 +722,8 @@ class SyncNetwork:
         kind_s = kind_all[order] if kind_all is not None else None
         pay_s = pay_all[order] if pay_all is not None else None
         ok_s = pay_ok_all[order] if pay_ok_all is not None else None
+        pay2_s = pay2_all[order] if pay2_all is not None else None
+        has2_s = pay2_has_all[order] if pay2_has_all is not None else None
         objs_s = [objs[i] for i in order.tolist()] if objs is not None else None
 
         cuts = np.flatnonzero(rcv_s[1:] != rcv_s[:-1]) + 1
@@ -675,24 +745,37 @@ class SyncNetwork:
             if is_batch[nid]:
                 if ok_s is not None and not ok_s[s:e].all():
                     raise TypeError(
-                        f"batch node {nid} received a message with a non-integer payload"
+                        f"batch node {nid} received a message whose payload is "
+                        f"neither an integer nor an integer pair"
                     )
+                # Attach the secondary lane iff some message in the group
+                # carries it — the rule ``MessageBatch.from_messages`` (and
+                # hence the legacy engine) applies to mixed inboxes.
+                if pay2_s is not None and (has2_s is None or bool(has2_s[s:e].any())):
+                    p2 = pay2_s[s:e]
+                else:
+                    p2 = None
                 pending[nid] = raw(
                     snd_real_s[s:e],
                     rcv_real_s[s:e],
                     uniform_kind if uniform_kind is not None else kind_s[s:e],
                     pay_s[s:e],
+                    p2,
                 )
             elif objs_s is not None:
                 msgs = []
                 for i in range(s, e):
                     obj = objs_s[i]
                     if obj is None:
+                        if pay2_s is not None and (has2_s is None or has2_s[i]):
+                            payload = (int(pay_s[i]), int(pay2_s[i]))
+                        else:
+                            payload = int(pay_s[i])
                         obj = Message(
                             int(snd_real_s[i]),
                             nid,
                             kind_name(int(kind_s[i])) if kind_s is not None else kind_name(uniform_kind),
-                            int(pay_s[i]),
+                            payload,
                         )
                     msgs.append(obj)
                 pending[nid] = msgs
@@ -703,7 +786,9 @@ class SyncNetwork:
                         int(snd_real_s[i]),
                         nid,
                         uname if uname is not None else kind_name(int(kind_s[i])),
-                        int(pay_s[i]),
+                        (int(pay_s[i]), int(pay2_s[i]))
+                        if pay2_s is not None and (has2_s is None or has2_s[i])
+                        else int(pay_s[i]),
                     )
                     for i in range(s, e)
                 ]

@@ -1,0 +1,105 @@
+"""Differential tests: batched rooting vs. object rooting vs. reference BFS.
+
+ISSUE 2's acceptance bar: ``run_batch_rooting`` produces the identical
+``(root, parent, depth)`` arrays as ``run_protocol_rooting`` over a
+20-seed matrix, and both match the reference oracle of
+:mod:`repro.core.bfs` (same min-id election, same min-id parent
+tie-break).  The batched node is additionally cross-checked across both
+delivery engines and under the footnote-2 asynchrony synchroniser.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bfs import build_bfs_forest
+from repro.core.params import ExpanderParams
+from repro.core.protocol import run_protocol_expander
+from repro.core.protocol_tree import (
+    run_batch_rooting,
+    run_protocol_rooting,
+    run_rooting_under_asynchrony,
+)
+from repro.graphs import generators as G
+from repro.graphs.analysis import bfs_distances
+
+SEEDS = range(20)
+FLOOD_ROUNDS = 8
+
+
+def small_expander(n: int, seed: int):
+    params = ExpanderParams.recommended(n, ell=16).with_evolutions(
+        math.ceil(math.log2(n)) + 2
+    )
+    return run_protocol_expander(
+        G.line_graph(n), params=params, rng=np.random.default_rng(seed)
+    ).final_graph
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_object_and_batch_agree_bit_for_bit(self, seed):
+        # Vary the size with the seed so the matrix covers several shapes.
+        n = 32 + 8 * (seed % 4)
+        graph = small_expander(n, seed)
+        obj = run_protocol_rooting(graph, FLOOD_ROUNDS, rng=np.random.default_rng(seed))
+        bat = run_batch_rooting(graph, FLOOD_ROUNDS, rng=np.random.default_rng(seed))
+        assert obj.root == bat.root
+        assert np.array_equal(obj.parent, bat.parent)
+        assert np.array_equal(obj.depth, bat.depth)
+        assert obj.metrics.as_dict() == bat.metrics.as_dict()
+        assert obj.rounds == bat.rounds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batch_nodes_agree_across_engines(self, seed):
+        graph = small_expander(40, seed)
+        vec = run_batch_rooting(graph, FLOOD_ROUNDS, rng=np.random.default_rng(seed))
+        leg = run_batch_rooting(
+            graph, FLOOD_ROUNDS, rng=np.random.default_rng(seed), engine="legacy"
+        )
+        assert vec.root == leg.root
+        assert np.array_equal(vec.parent, leg.parent)
+        assert np.array_equal(vec.depth, leg.depth)
+        assert vec.metrics.as_dict() == leg.metrics.as_dict()
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_bfs(self, seed):
+        # The same tree as the centralised §2.1 oracle: min-id root,
+        # min-id parent tie-break, true BFS depths.
+        graph = small_expander(48, seed)
+        bat = run_batch_rooting(graph, FLOOD_ROUNDS, rng=np.random.default_rng(seed))
+        forest = build_bfs_forest(graph)
+        assert forest.roots == [bat.root]
+        assert np.array_equal(bat.parent, forest.parent)
+        assert np.array_equal(bat.depth, forest.depth)
+        dist = bfs_distances(graph.neighbor_sets(), bat.root)
+        assert np.array_equal(bat.depth, dist)
+
+    def test_no_drops_within_capacity(self):
+        graph = small_expander(64, seed=3)
+        result = run_batch_rooting(graph, FLOOD_ROUNDS)
+        assert result.metrics.total_drops == 0
+        assert result.metrics.max_sent_per_round <= graph.delta
+
+
+class TestUnderAsynchrony:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_delayed_run_builds_the_synchronous_tree(self, batched):
+        graph = small_expander(40, seed=5)
+        sync = run_batch_rooting(graph, FLOOD_ROUNDS, rng=np.random.default_rng(5))
+        delayed, report = run_rooting_under_asynchrony(
+            graph,
+            FLOOD_ROUNDS,
+            max_delay=4,
+            rng=np.random.default_rng(5),
+            batched=batched,
+        )
+        assert delayed.root == sync.root
+        assert np.array_equal(delayed.parent, sync.parent)
+        assert np.array_equal(delayed.depth, sync.depth)
+        assert report.converged
+        assert report.dilation == 4.0
+        assert 1 <= report.observed_max_delay <= 4

@@ -105,3 +105,36 @@ class TestValidationModes:
         )
         assert result.expander.params == params
         assert len(result.history) == 6
+
+
+class TestRootingModes:
+    """The message-level rooting modes must build the reference tree."""
+
+    @pytest.mark.parametrize("mode", ["protocol", "batch"])
+    def test_message_level_rooting_matches_reference(self, mode):
+        ref = build_well_formed_tree(G.line_graph(48), rng=np.random.default_rng(12))
+        res = build_well_formed_tree(
+            G.line_graph(48), rng=np.random.default_rng(12), rooting=mode
+        )
+        assert res.bfs.roots == ref.bfs.roots
+        assert np.array_equal(res.bfs.parent, ref.bfs.parent)
+        assert np.array_equal(res.bfs.depth, ref.bfs.depth)
+        assert np.array_equal(res.bfs.root_of, ref.bfs.root_of)
+        # The protocol runs a fixed flooding budget, so its round count
+        # may exceed the oracle's actual-stabilisation count, never less.
+        assert res.round_ledger["bfs"] >= ref.round_ledger["bfs"]
+        res.well_formed.tree.validate()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="rooting"):
+            build_well_formed_tree(
+                G.line_graph(16), rng=np.random.default_rng(13), rooting="typo"
+            )
+
+    @pytest.mark.parametrize("mode", ["protocol", "batch"])
+    def test_disconnected_input_rejected_in_message_modes(self, mode):
+        mix, _ = G.component_mixture([G.line_graph(8), G.line_graph(8)])
+        with pytest.raises(ValueError, match="disconnected"):
+            build_well_formed_tree(
+                mix, rng=np.random.default_rng(14), rooting=mode
+            )

@@ -2,12 +2,13 @@
 
 import math
 
+import networkx as nx
 import numpy as np
 import pytest
 
 from repro.core.params import ExpanderParams
 from repro.core.protocol import run_protocol_expander
-from repro.core.protocol_tree import run_protocol_rooting
+from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
 from repro.graphs import generators as G
 from repro.graphs.analysis import adjacency_sets, bfs_distances
 from repro.core.benign import make_benign
@@ -69,3 +70,40 @@ class TestRooting:
         ports = np.arange(4)[:, None] * np.ones((4, 8), dtype=np.int64)
         with pytest.raises(RuntimeError):
             run_protocol_rooting(PortGraph(ports.astype(np.int64)), flood_rounds=4)
+
+
+def _reversed_path_graph(n: int):
+    """Path 1-2-…-(n-1)-0: the minimum id sits at one end, so flooding
+    needs the full ``diameter = n - 1`` hops to reach the far end."""
+    order = list(range(1, n)) + [0]
+    g = nx.Graph()
+    g.add_edges_from(zip(order, order[1:]))
+    return g
+
+
+class TestFloodBoundary:
+    """Regression for the flooding off-by-one: min_id messages arriving in
+    round ``flood_rounds`` (sent in the last flooding round) must still be
+    processed before the BFS hand-off.  Discarding them cut the flood one
+    hop short, so ``flood_rounds == diameter`` left a second self-believed
+    root at the far end of the path and raised a spurious RuntimeError."""
+
+    @pytest.mark.parametrize("runner", [run_protocol_rooting, run_batch_rooting])
+    def test_path_with_flood_rounds_equal_diameter(self, runner):
+        n = 10
+        params = ExpanderParams.recommended(n)
+        base, _ = make_benign(_reversed_path_graph(n), params)
+        result = runner(base, flood_rounds=n - 1)  # exactly the diameter
+        assert result.root == 0
+        dist = bfs_distances(base.neighbor_sets(), 0)
+        assert (result.depth == dist).all()
+
+    @pytest.mark.parametrize("runner", [run_protocol_rooting, run_batch_rooting])
+    def test_insufficient_flooding_still_detected(self, runner):
+        # One round short of the diameter: the far end never hears id 0,
+        # roots itself, and the unique-root check must fire.
+        n = 10
+        params = ExpanderParams.recommended(n)
+        base, _ = make_benign(_reversed_path_graph(n), params)
+        with pytest.raises(RuntimeError, match="unique root"):
+            runner(base, flood_rounds=n - 2)
