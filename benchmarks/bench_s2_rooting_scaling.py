@@ -36,7 +36,13 @@ import time
 import numpy as np
 
 from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
-from repro.experiments.harness import Table, add_engine_argument, select_engine
+from repro.core.soa_rooting import run_soa_rooting
+from repro.experiments.harness import (
+    TIER_CHOICES,
+    Table,
+    add_engine_argument,
+    select_engine,
+)
 from repro.graphs.portgraph import PortGraph
 
 FULL_SIZES = (1_000, 5_000, 10_000)
@@ -48,24 +54,9 @@ NUM_CHORD_SETS = 2
 
 
 def overlay_like_graph(n: int, seed: int) -> PortGraph:
-    """Connected Δ=16 multigraph with ``O(log n)`` diameter.
-
-    A ring (connectivity) plus random permutation chord sets (expansion);
-    every node has degree ≤ 2 + 2·NUM_CHORD_SETS regardless of ``n``.
-    """
-    rng = np.random.default_rng(seed)
-    idx = np.arange(n, dtype=np.int64)
-    ends_a = [idx]
-    ends_b = [np.roll(idx, -1)]
-    for _ in range(NUM_CHORD_SETS):
-        ends_a.append(idx)
-        ends_b.append(rng.permutation(n).astype(np.int64))
-    return PortGraph.from_edge_multiset(
-        n=n,
-        delta=DELTA,
-        endpoints_a=np.concatenate(ends_a),
-        endpoints_b=np.concatenate(ends_b),
-    )
+    """Connected Δ=16 multigraph with ``O(log n)`` diameter (the
+    ring-plus-chords family; construction shared in PortGraph)."""
+    return PortGraph.ring_with_chords(n, delta=DELTA, chords=NUM_CHORD_SETS, seed=seed)
 
 
 def _flood_rounds(n: int) -> int:
@@ -121,6 +112,16 @@ def run_experiment(smoke: bool, engine_filter: str | None = None):
                 repeats,
             )
             record(n, "batch-nodes", "vectorized", seconds, result.metrics.total_messages)
+
+        if engine_filter == "soa":
+            # The SoA tier rides the same graphs on request (its dedicated
+            # scaling story, 20x assert and all, lives in bench_s3).
+            result = run_soa_rooting(graph, fr, rng=np.random.default_rng(1))
+            seconds = _time(
+                lambda: run_soa_rooting(graph, fr, rng=np.random.default_rng(1)),
+                repeats,
+            )
+            record(n, "soa", "vectorized", seconds, result.metrics.total_messages)
 
         if engine_filter in (None, "legacy"):
             result = run_protocol_rooting(
@@ -188,10 +189,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="~30s CI variant: small sizes, no asserts"
     )
-    add_engine_argument(parser)
+    add_engine_argument(parser, choices=TIER_CHOICES)
     args = parser.parse_args(argv)
     engine_filter = (
-        select_engine(args.engine)
+        select_engine(args.engine, choices=TIER_CHOICES)
         if args.engine or os.environ.get("REPRO_ENGINE")
         else None
     )

@@ -8,6 +8,12 @@ well-formed tree exists.
 Measured here: per-query round costs over the well-formed tree vs. the
 ``Θ(log² n)`` supernode machinery of [27] (whose round cost the E7
 baseline measures), plus correctness of every monitor.
+
+The overlay construction's rooting phase (and hence the whole path into
+the monitors) runs on the execution tier selected by the ``REPRO_ROOTING``
+environment variable (``reference`` / ``protocol`` / ``batch`` / ``soa``)
+— every tier builds the identical tree, so the measured rounds are
+tier-independent.
 """
 
 import math
@@ -17,22 +23,24 @@ import networkx as nx
 from _common import run_once, seeded
 from repro.baselines import supernode_merge
 from repro.core.pipeline import build_well_formed_tree
-from repro.experiments.harness import Table
+from repro.experiments.harness import Table, select_rooting
 from repro.graphs import generators as G
 from repro.hybrid.monitoring import NetworkMonitor
 
 
 def bench_x2_monitor_battery(benchmark):
+    rooting = select_rooting(default="batch")
+
     def experiment():
         table = Table(
-            "X2: monitoring query rounds (well-formed tree vs [27] machinery)",
+            f"X2: monitoring query rounds (rooting={rooting} tree vs [27] machinery)",
             ["n", "query", "value", "correct", "rounds", "log2n", "merge_rounds(log^2)"],
         )
         rows = []
         for n in (128, 512):
             g = G.torus_2d(int(math.isqrt(n)), int(math.isqrt(n)))
             n_actual = g.number_of_nodes()
-            overlay = build_well_formed_tree(g, rng=seeded(n))
+            overlay = build_well_formed_tree(g, rng=seeded(n), rooting=rooting)
             monitor = NetworkMonitor(g, tree=overlay.tree)
             merge_rounds = supernode_merge(g).total_rounds
             truth = {

@@ -14,7 +14,12 @@ The public surface:
 """
 
 from repro.core.params import ExpanderParams
-from repro.core.batch_protocol import BatchExpanderNode, run_batch_expander
+from repro.core.batch_protocol import (
+    BatchExpanderNode,
+    SoAExpanderClass,
+    run_batch_expander,
+    run_soa_expander,
+)
 from repro.core.benign import BenignReport, check_benign, make_benign
 from repro.core.protocol import ExpanderNode, ProtocolRunResult, run_protocol_expander
 from repro.core.walks import WalkResult, run_token_walks, sample_port_targets
@@ -33,6 +38,7 @@ from repro.core.protocol_tree import (
     run_protocol_rooting,
     run_rooting_under_asynchrony,
 )
+from repro.core.soa_rooting import SoARootingClass, csr_neighbors, run_soa_rooting
 from repro.core.bfs import BFSForest, build_bfs_forest, distributed_bfs, flood_min_ids
 from repro.core.child_sibling import RootedTree, to_child_sibling
 from repro.core.euler import (
@@ -58,7 +64,9 @@ from repro.core.topologies import (
 __all__ = [
     "ExpanderParams",
     "BatchExpanderNode",
+    "SoAExpanderClass",
     "run_batch_expander",
+    "run_soa_expander",
     "ExpanderNode",
     "ProtocolRunResult",
     "run_protocol_expander",
@@ -79,6 +87,9 @@ __all__ = [
     "run_batch_rooting",
     "run_protocol_rooting",
     "run_rooting_under_asynchrony",
+    "SoARootingClass",
+    "csr_neighbors",
+    "run_soa_rooting",
     "BFSForest",
     "build_bfs_forest",
     "distributed_bfs",

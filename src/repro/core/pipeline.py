@@ -32,20 +32,35 @@ from repro.core.params import ExpanderParams
 from repro.graphs.analysis import diameter
 from repro.graphs.portgraph import PortGraph
 
-__all__ = ["OverlayBuildResult", "build_well_formed_tree", "ROOTING_MODES"]
+__all__ = [
+    "OverlayBuildResult",
+    "build_well_formed_tree",
+    "ROOTING_MODES",
+    "EXPANDER_MODES",
+]
 
 #: How step 3 (rooting) executes: ``"reference"`` runs the centralised
-#: adjacency-loop oracle of :mod:`repro.core.bfs`; ``"protocol"`` and
-#: ``"batch"`` run the real message-level protocol of
-#: :mod:`repro.core.protocol_tree` on the NCC0 simulator (object nodes
-#: vs. batched int64 columns).  All three produce the identical tree;
-#: ``"batch"`` is what keeps the pipeline practical at ``n ≥ 10⁵``.
-ROOTING_MODES = ("reference", "protocol", "batch")
+#: adjacency-loop oracle of :mod:`repro.core.bfs`; ``"protocol"``,
+#: ``"batch"``, and ``"soa"`` run the real message-level protocol on the
+#: NCC0 simulator (object nodes, batched int64 columns, or the
+#: structure-of-arrays class of :mod:`repro.core.soa_rooting`).  All four
+#: produce the identical tree; ``"soa"`` is what keeps the pipeline
+#: practical at ``n ≥ 10⁶``.
+ROOTING_MODES = ("reference", "protocol", "batch", "soa")
+
+#: How step 2 (``CreateExpander``) executes: ``"walks"`` runs the fast
+#: array walk engine of :mod:`repro.core.expander` (the default — the
+#: only mode with per-evolution history, spectral tracking, and trace
+#: provenance); ``"protocol"``, ``"batch"``, and ``"soa"`` run the
+#: message-level protocol on the NCC0 simulator with real capacity
+#: enforcement, at the three execution tiers.
+EXPANDER_MODES = ("walks", "protocol", "batch", "soa")
 
 
 def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BFSForest:
     """Run the message-level rooting phase and adapt it to a BFSForest."""
     from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
+    from repro.core.soa_rooting import run_soa_rooting
 
     n = graph.n
     # The paper's budget: L ≥ log n ≥ diameter rounds of flooding.  The
@@ -53,7 +68,11 @@ def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BF
     # absorbs the constant, and an insufficient flood surfaces as a
     # multiple-root RuntimeError rather than a silently wrong tree.
     flood_rounds = 2 * max(1, math.ceil(math.log2(max(2, n)))) + 2
-    runner = run_batch_rooting if mode == "batch" else run_protocol_rooting
+    runner = {
+        "batch": run_batch_rooting,
+        "soa": run_soa_rooting,
+        "protocol": run_protocol_rooting,
+    }[mode]
     try:
         result = runner(graph, flood_rounds=flood_rounds, rng=rng)
     except RuntimeError as exc:
@@ -122,6 +141,34 @@ class OverlayBuildResult:
         return diameter(self.expander.final_graph.neighbor_sets())
 
 
+def _message_level_expander(graph, mode: str, params, rng) -> ExpanderResult:
+    """Run ``CreateExpander`` message-by-message and adapt the outcome to
+    the :class:`ExpanderResult` shape the rest of the pipeline consumes.
+
+    Message-level runs carry no per-evolution history or provenance (the
+    nodes only keep their final ports), so ``history`` is empty and the
+    round charge comes from the metrics' actual NCC0 round count.
+    """
+    from repro.core.batch_protocol import run_batch_expander, run_soa_expander
+    from repro.core.protocol import run_protocol_expander
+
+    runner = {
+        "protocol": run_protocol_expander,
+        "batch": run_batch_expander,
+        "soa": run_soa_expander,
+    }[mode]
+    result = runner(graph, params=params, rng=rng)
+    return ExpanderResult(
+        final_graph=result.final_graph,
+        history=[],
+        levels=[result.final_graph],
+        base_registry=[],
+        level_registries=[],
+        params=result.params,
+        rounds=result.rounds + 2,  # +2: bidirect + copy preparation
+    )
+
+
 def build_well_formed_tree(
     graph,
     params: ExpanderParams | None = None,
@@ -131,6 +178,7 @@ def build_well_formed_tree(
     track_gap: bool = False,
     verify_benign: bool = False,
     rooting: str = "reference",
+    expander: str = "walks",
 ) -> OverlayBuildResult:
     """Run the complete Theorem 1.1 construction on ``graph``.
 
@@ -154,9 +202,16 @@ def build_well_formed_tree(
     rooting:
         One of :data:`ROOTING_MODES`: the centralised ``"reference"``
         oracle (default), or the message-level ``"protocol"`` /
-        ``"batch"`` executions on the NCC0 simulator.  All three build
-        the identical tree; ``"batch"`` avoids the oracle's per-edge
-        Python loops at large ``n``.
+        ``"batch"`` / ``"soa"`` executions on the NCC0 simulator.  All
+        four build the identical tree; the SoA tier avoids per-node
+        Python calls entirely at large ``n``.
+    expander:
+        One of :data:`EXPANDER_MODES`: the fast ``"walks"`` array engine
+        (default), or the message-level tiers on the NCC0 simulator.
+        The message-level tiers enforce real capacities but keep no
+        evolution history/provenance, so they are incompatible with
+        ``record_traces`` / ``gap_threshold`` / ``track_gap`` /
+        ``verify_benign``.
 
     Returns
     -------
@@ -166,24 +221,36 @@ def build_well_formed_tree(
     """
     if rooting not in ROOTING_MODES:
         raise ValueError(f"rooting must be one of {ROOTING_MODES}, got {rooting!r}")
+    if expander not in EXPANDER_MODES:
+        raise ValueError(f"expander must be one of {EXPANDER_MODES}, got {expander!r}")
     if rng is None:
         rng = np.random.default_rng(0)
 
-    expander = create_expander(
-        graph,
-        params=params,
-        rng=rng,
-        record_traces=record_traces,
-        gap_threshold=gap_threshold,
-        track_gap=track_gap,
-    )
+    if expander == "walks":
+        expander_result = create_expander(
+            graph,
+            params=params,
+            rng=rng,
+            record_traces=record_traces,
+            gap_threshold=gap_threshold,
+            track_gap=track_gap,
+        )
+    else:
+        if record_traces or track_gap or verify_benign or gap_threshold is not None:
+            raise ValueError(
+                "record_traces/gap_threshold/track_gap/verify_benign require "
+                'the "walks" expander mode (message-level nodes keep no '
+                "evolution history)"
+            )
+        expander_result = _message_level_expander(graph, expander, params, rng)
+    message_level = expander != "walks"
 
     if verify_benign:
-        for level, port_graph in enumerate(expander.levels):
-            target = expander.params.lam if level == 0 else None
+        for level, port_graph in enumerate(expander_result.levels):
+            target = expander_result.params.lam if level == 0 else None
             report = check_benign(
                 port_graph,
-                expander.params,
+                expander_result.params,
                 check_cut=port_graph.n <= 300,
                 cut_target=target,
             )
@@ -193,9 +260,9 @@ def build_well_formed_tree(
                 )
 
     if rooting == "reference":
-        bfs = build_bfs_forest(expander.final_graph)
+        bfs = build_bfs_forest(expander_result.final_graph)
     else:
-        bfs = _rooting_forest(expander.final_graph, rooting, rng)
+        bfs = _rooting_forest(expander_result.final_graph, rooting, rng)
     if len(bfs.roots) != 1:
         raise ValueError(
             "input graph is disconnected; use repro.hybrid.components for forests"
@@ -205,12 +272,19 @@ def build_well_formed_tree(
 
     ledger = {
         "prepare": 2,
-        "evolutions": len(expander.history) * (expander.params.ell + 1),
+        # Walk-engine evolutions are charged analytically (ℓ + 1 rounds
+        # each); message-level runs charge the NCC0 rounds they actually
+        # consumed (expander_result.rounds carries the +2 preparation).
+        "evolutions": (
+            expander_result.rounds - 2
+            if message_level
+            else len(expander_result.history) * (expander_result.params.ell + 1)
+        ),
         "bfs": bfs.rounds,
         "well_forming": well_formed.rounds,
     }
     return OverlayBuildResult(
-        expander=expander,
+        expander=expander_result,
         bfs=bfs,
         well_formed=well_formed,
         round_ledger=ledger,

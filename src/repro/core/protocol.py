@@ -199,23 +199,44 @@ def run_expander_on_network(
     rng: np.random.Generator | None = None,
     capacity: CapacityPolicy | None = None,
     engine: str = "vectorized",
+    rng_mode: str = "spawn",
 ) -> ProtocolRunResult:
     """Shared scaffold for network-driven ``CreateExpander`` runs.
 
     ``node_factory(node_id, neighbors, params, rng)`` builds one protocol
-    node; everything else (parameter calibration, per-node RNG spawning,
-    round budget, final-graph assembly) is identical between the
-    per-message and batched node implementations.
+    node; everything else (parameter calibration, RNG discipline, round
+    budget, final-graph assembly) is identical between the per-message
+    and batched node implementations.
+
+    ``rng_mode`` selects the randomness discipline:
+
+    - ``"spawn"`` (default, the historical stream): every node draws from
+      its own ``rng.spawn()`` child, the network from the last;
+    - ``"shared"``: ``rng.spawn(2)`` yields one *protocol* generator that
+      every node shares (drawing in node-iteration order) and one network
+      generator.  Because sequential ``Generator.random(k)`` draws
+      concatenate into one stream, this is exactly the discipline of the
+      SoA tier's single flat draw per round — which is what makes
+      :func:`repro.core.batch_protocol.run_soa_expander` bit-for-bit
+      comparable against batched nodes under matched seeds.
     """
     if rng is None:
         rng = np.random.default_rng(0)
+    if rng_mode not in ("spawn", "shared"):
+        raise ValueError(f"rng_mode must be 'spawn' or 'shared', got {rng_mode!r}")
     n, neighbors, params, capacity = prepare_network_inputs(graph, params, capacity)
 
-    child_rngs = rng.spawn(n + 1)
+    if rng_mode == "spawn":
+        child_rngs = rng.spawn(n + 1)
+        node_rng = lambda v: child_rngs[v]  # noqa: E731
+        net_rng = child_rngs[n]
+    else:
+        proto_rng, net_rng = rng.spawn(2)
+        node_rng = lambda v: proto_rng  # noqa: E731
     nodes = {
-        v: node_factory(v, neighbors[v], params, child_rngs[v]) for v in range(n)
+        v: node_factory(v, neighbors[v], params, node_rng(v)) for v in range(n)
     }
-    network = SyncNetwork(nodes, capacity, child_rngs[n], engine=engine)
+    network = SyncNetwork(nodes, capacity, net_rng, engine=engine)
     total_rounds = params.num_evolutions * (params.ell + 2)
     metrics = network.run(max_rounds=total_rounds + 1)
 

@@ -145,8 +145,11 @@ class BatchRootingNode(BatchProtocolNode):
         self._done = False
         # The flooding announcement is the same batch every round except
         # for its payload value, so build it once and rewrite the payload
-        # buffer in place when ``best`` improves.  (Safe: the engine copies
-        # a round's columns during delivery, before the next round runs.)
+        # buffer in place when ``best`` improves.  (Safe: delivery gathers
+        # payload columns into fresh arrays before the next round runs;
+        # only the *receivers* column is read-only by contract — the
+        # engine may freeze it and cache its grouping permutation — and
+        # it is never mutated here.)
         deg = self.neighbors.shape[0]
         self._flood_payloads = np.full(deg, node_id, dtype=np.int64)
         self._flood_batch = (

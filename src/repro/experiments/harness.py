@@ -25,7 +25,10 @@ __all__ = [
     "loglog_slope",
     "geometric_sizes",
     "ENGINE_CHOICES",
+    "TIER_CHOICES",
+    "ROOTING_CHOICES",
     "select_engine",
+    "select_rooting",
     "add_engine_argument",
 ]
 
@@ -33,25 +36,53 @@ __all__ = [
 #: benchmarks can select between (single source of truth: the network).
 from repro.net.network import ENGINES as ENGINE_CHOICES  # noqa: E402
 
+#: Execution tiers for stack-aware benchmarks: the two delivery engines
+#: plus ``"soa"`` — structure-of-arrays protocol classes on the
+#: vectorized delivery path (one Python call advances all nodes).
+TIER_CHOICES = ENGINE_CHOICES + ("soa",)
 
-def select_engine(cli_value: str | None = None, default: str = "vectorized") -> str:
-    """Resolve the network delivery engine for a benchmark run.
+#: Rooting modes of :func:`repro.core.pipeline.build_well_formed_tree`
+#: that pipeline-driving benchmarks can select between.
+from repro.core.pipeline import ROOTING_MODES as ROOTING_CHOICES  # noqa: E402
+
+
+def select_engine(
+    cli_value: str | None = None,
+    default: str = "vectorized",
+    choices: tuple[str, ...] = ENGINE_CHOICES,
+) -> str:
+    """Resolve the network delivery engine (or execution tier) for a run.
 
     Precedence: explicit CLI value > ``REPRO_ENGINE`` environment variable
     > ``default``.  Raises on unknown names so typos fail loudly instead
-    of silently benchmarking the wrong engine.
+    of silently benchmarking the wrong engine.  Benchmarks whose stacks
+    include the SoA tier pass ``choices=TIER_CHOICES``.
     """
     value = cli_value or os.environ.get("REPRO_ENGINE") or default
-    if value not in ENGINE_CHOICES:
-        raise ValueError(f"engine must be one of {ENGINE_CHOICES}, got {value!r}")
+    if value not in choices:
+        raise ValueError(f"engine must be one of {choices}, got {value!r}")
     return value
 
 
-def add_engine_argument(parser) -> None:
+def select_rooting(cli_value: str | None = None, default: str = "reference") -> str:
+    """Resolve the pipeline rooting mode for a benchmark run.
+
+    Precedence: explicit CLI value > ``REPRO_ROOTING`` environment
+    variable > ``default`` — the rooting-mode analogue of
+    :func:`select_engine`, used by the monitoring/churn benchmarks to
+    drive their overlay constructions on any execution tier.
+    """
+    value = cli_value or os.environ.get("REPRO_ROOTING") or default
+    if value not in ROOTING_CHOICES:
+        raise ValueError(f"rooting must be one of {ROOTING_CHOICES}, got {value!r}")
+    return value
+
+
+def add_engine_argument(parser, choices: tuple[str, ...] = ENGINE_CHOICES) -> None:
     """Attach the standard ``--engine`` flag to an argparse parser."""
     parser.add_argument(
         "--engine",
-        choices=ENGINE_CHOICES,
+        choices=choices,
         default=None,
         help="network delivery engine (default: REPRO_ENGINE env var or 'vectorized')",
     )

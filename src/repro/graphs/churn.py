@@ -12,7 +12,11 @@ that claim (used by the X3 bench and the ``churn_recovery`` example):
   (largest component fraction, component count);
 - :func:`survival_curve` — sweep ``p`` over seeds for a whole graph,
   producing the robustness curve that contrasts the expander overlay
-  with its fragile input topology.
+  with its fragile input topology;
+- :func:`rebuild_survivor_overlay` — the paper's "throw away and
+  reconstruct" step: re-run the Theorem 1.1 pipeline on the largest
+  surviving component, on any execution tier (``rooting="batch"`` by
+  default, so churn re-runs no longer drive the object-level paths).
 """
 
 from __future__ import annotations
@@ -23,7 +27,14 @@ import numpy as np
 
 from repro.graphs.analysis import adjacency_sets, connected_components
 
-__all__ = ["ChurnReport", "fail_nodes", "churn_report", "survival_curve"]
+__all__ = [
+    "ChurnReport",
+    "SurvivorRebuild",
+    "fail_nodes",
+    "churn_report",
+    "survival_curve",
+    "rebuild_survivor_overlay",
+]
 
 
 @dataclass
@@ -66,17 +77,94 @@ def fail_nodes(
     return surviving, alive
 
 
-def churn_report(surviving_adj: list[set[int]], alive: np.ndarray) -> ChurnReport:
-    """Connectivity structure of one churn outcome."""
-    comps = [
-        c for c in connected_components(surviving_adj) if alive[c[0]]
-    ]
-    survivors = int(alive.sum())
+def _alive_components(
+    surviving_adj: list[set[int]], alive: np.ndarray
+) -> list[list[int]]:
+    """Connected components of the survivors (dead nodes' empty entries
+    excluded) — shared by the report and the rebuild path."""
+    return [c for c in connected_components(surviving_adj) if alive[c[0]]]
+
+
+def _report_from_components(comps: list[list[int]], alive: np.ndarray) -> ChurnReport:
     return ChurnReport(
-        survivors=survivors,
+        survivors=int(alive.sum()),
         components=len(comps),
         largest_component=max((len(c) for c in comps), default=0),
     )
+
+
+def churn_report(surviving_adj: list[set[int]], alive: np.ndarray) -> ChurnReport:
+    """Connectivity structure of one churn outcome."""
+    return _report_from_components(_alive_components(surviving_adj, alive), alive)
+
+
+@dataclass
+class SurvivorRebuild:
+    """Outcome of one churn-then-reconstruct cycle.
+
+    ``survivors`` holds the *original* labels (sorted ascending) of the
+    largest surviving component; ``overlay`` is the Theorem 1.1 build on
+    that component relabelled to ``0..k-1`` (position in ``survivors``),
+    so ``survivors[overlay.bfs.parent[i]]`` recovers original-label
+    parents.
+    """
+
+    report: ChurnReport
+    survivors: np.ndarray
+    overlay: object  # OverlayBuildResult (import kept lazy, see below)
+
+
+def rebuild_survivor_overlay(
+    graph,
+    p: float,
+    rng: np.random.Generator,
+    rooting: str = "batch",
+    expander: str = "walks",
+    params=None,
+) -> SurvivorRebuild:
+    """Churn the graph, then rebuild a fresh overlay on the survivors.
+
+    The §1.4 recovery step end-to-end: kill an independent ``p``-fraction
+    of nodes, take the largest surviving component, and re-run
+    :func:`repro.core.pipeline.build_well_formed_tree` on it — with the
+    rooting (and optionally expander) phase on the chosen execution tier,
+    batched by default.  The build draws from ``rng.spawn()`` *after* the
+    churn draw, so under a matched seed every tier reconstructs the
+    identical survivor overlay (the regression pinned by
+    ``tests/graphs/test_churn.py``).
+
+    Raises
+    ------
+    ValueError
+        If churn leaves fewer than two connected survivors — there is no
+        overlay to rebuild.
+    """
+    # Lazy import: repro.core imports this package at module load.
+    from repro.core.pipeline import build_well_formed_tree
+    import networkx as nx
+
+    adj = adjacency_sets(graph)
+    surviving, alive = fail_nodes(adj, p, rng)
+    build_rng = rng.spawn(1)[0]
+    comps = _alive_components(surviving, alive)
+    report = _report_from_components(comps, alive)
+    largest = max(comps, key=len, default=[])
+    if len(largest) < 2:
+        raise ValueError(
+            f"churn at p={p} left no component with >= 2 nodes to rebuild on"
+        )
+    survivors = np.array(sorted(largest), dtype=np.int64)
+    relabel = {int(v): i for i, v in enumerate(survivors.tolist())}
+    g = nx.Graph()
+    g.add_nodes_from(range(survivors.shape[0]))
+    for v in survivors.tolist():
+        for u in surviving[v]:
+            if u > v:
+                g.add_edge(relabel[v], relabel[u])
+    overlay = build_well_formed_tree(
+        g, params=params, rng=build_rng, rooting=rooting, expander=expander
+    )
+    return SurvivorRebuild(report=report, survivors=survivors, overlay=overlay)
 
 
 def survival_curve(

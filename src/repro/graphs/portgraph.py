@@ -140,6 +140,34 @@ class PortGraph:
         return cls(ports=ports, port_edge_ids=ids)
 
     @classmethod
+    def ring_with_chords(
+        cls, n: int, delta: int = 16, chords: int = 2, seed: int | None = 0
+    ) -> "PortGraph":
+        """Connected low-diameter multigraph standing in for evolution
+        output: a ring (connectivity) plus ``chords`` random permutation
+        chord sets (expansion), so every node has degree
+        ``≤ 2 + 2·chords`` regardless of ``n``.
+
+        The shared workload family of the S2/S3 rooting benchmarks and
+        the SoA differential/property suites — their cross-checks assume
+        they all sample the *same* family, so the construction lives
+        here once.
+        """
+        rng = np.random.default_rng(seed)
+        idx = np.arange(n, dtype=np.int64)
+        ends_a = [idx]
+        ends_b = [np.roll(idx, -1)]
+        for _ in range(chords):
+            ends_a.append(idx)
+            ends_b.append(rng.permutation(n).astype(np.int64))
+        return cls.from_edge_multiset(
+            n=n,
+            delta=delta,
+            endpoints_a=np.concatenate(ends_a),
+            endpoints_b=np.concatenate(ends_b),
+        )
+
+    @classmethod
     def complete_lazy(cls, n: int, delta: int) -> "PortGraph":
         """A lazy circulant reference graph: ``Δ/2`` ports per node point
         at symmetric shifts ``±1, ±2, …`` and the rest are self-loops.

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.bfs import build_bfs_forest
 from repro.core.child_sibling import RootedTree
 from repro.core.primitives import TreePrimitives
 from repro.graphs.analysis import adjacency_sets
 
-__all__ = ["MonitorReport", "NetworkMonitor"]
+__all__ = ["MonitorReport", "NetworkMonitor", "ROOTING_MODES"]
 
 
 @dataclass
@@ -39,6 +41,16 @@ class MonitorReport:
 
     value: object
     rounds: int
+
+
+#: How a monitor builds its aggregation tree when none is supplied: the
+#: same mode set as the pipeline's rooting step (single source of
+#: truth).  ``"reference"`` runs the centralised BFS oracle; the others
+#: execute the real rooting protocol on the NCC0 simulator at the chosen
+#: tier.  All four build the identical tree (min-id root, min-id parent
+#: tie-break), so every monitor answer and round charge agrees —
+#: smoke-tested in ``tests/hybrid/test_monitoring.py``.
+from repro.core.pipeline import ROOTING_MODES  # noqa: E402
 
 
 class NetworkMonitor:
@@ -50,21 +62,60 @@ class NetworkMonitor:
         The monitored network (local edges).
     tree:
         A well-formed tree over the same nodes (from the Theorem 1.1
-        pipeline); if omitted, a BFS tree of ``graph`` is used — the
+        pipeline); if omitted, a BFS tree of ``graph`` is built — the
         round charges then reflect that tree's height.
+    rooting:
+        One of :data:`ROOTING_MODES`; selects the execution tier used to
+        build the BFS tree when ``tree`` is omitted (ignored otherwise).
+        The message-level tiers flood for ``diameter(graph)`` rounds —
+        monitoring runs on arbitrary graphs, where the paper's
+        ``log n ≥ diameter`` budget need not hold.
     """
 
-    def __init__(self, graph, tree: RootedTree | None = None) -> None:
+    def __init__(
+        self, graph, tree: RootedTree | None = None, rooting: str = "reference"
+    ) -> None:
+        if rooting not in ROOTING_MODES:
+            raise ValueError(f"rooting must be one of {ROOTING_MODES}, got {rooting!r}")
         self.adj = adjacency_sets(graph)
         if tree is None:
-            bfs = build_bfs_forest(self.adj)
-            if len(bfs.roots) != 1:
-                raise ValueError("monitoring requires a connected network")
-            tree = RootedTree(root=bfs.roots[0], parent=bfs.parent.copy())
+            tree = self._build_tree(rooting)
         if tree.n != len(self.adj):
             raise ValueError("tree and graph disagree on the node count")
         self.tree = tree
         self.prims = TreePrimitives(tree)
+
+    def _build_tree(self, rooting: str) -> RootedTree:
+        if rooting == "reference":
+            bfs = build_bfs_forest(self.adj)
+            if len(bfs.roots) != 1:
+                raise ValueError("monitoring requires a connected network")
+            return RootedTree(root=bfs.roots[0], parent=bfs.parent.copy())
+
+        from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
+        from repro.core.soa_rooting import run_soa_rooting
+        from repro.graphs.analysis import diameter, is_connected
+        from repro.graphs.portgraph import PortGraph
+
+        if not is_connected(self.adj):
+            raise ValueError("monitoring requires a connected network")
+        n = len(self.adj)
+        edges = [
+            (v, u) for v in range(n) for u in sorted(self.adj[v]) if u > v
+        ]
+        ends_a = np.array([v for v, _ in edges], dtype=np.int64)
+        ends_b = np.array([u for _, u in edges], dtype=np.int64)
+        delta = max((len(a) for a in self.adj), default=1) or 1
+        pg = PortGraph.from_edge_multiset(
+            n=n, delta=delta, endpoints_a=ends_a, endpoints_b=ends_b
+        )
+        runner = {
+            "protocol": run_protocol_rooting,
+            "batch": run_batch_rooting,
+            "soa": run_soa_rooting,
+        }[rooting]
+        result = runner(pg, flood_rounds=max(1, diameter(self.adj)))
+        return RootedTree(root=result.root, parent=result.parent.copy())
 
     # ------------------------------------------------------------------
     def node_count(self) -> MonitorReport:

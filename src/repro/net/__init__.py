@@ -22,7 +22,8 @@ from repro.net.network import (
     ProtocolNode,
     SyncNetwork,
 )
-from repro.net.vectorops import segmented_keep_indices
+from repro.net.soa import SoAInbox, SoAProtocolClass
+from repro.net.vectorops import group_argsort, segmented_keep_indices
 from repro.net.hybrid import HybridLedger
 
 __all__ = [
@@ -33,8 +34,11 @@ __all__ = [
     "NetworkMetrics",
     "ProtocolNode",
     "BatchProtocolNode",
+    "SoAProtocolClass",
+    "SoAInbox",
     "SyncNetwork",
     "ENGINES",
+    "group_argsort",
     "segmented_keep_indices",
     "HybridLedger",
 ]

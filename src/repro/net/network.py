@@ -51,13 +51,16 @@ import numpy as np
 
 from repro.net.batch import KINDS, MessageBatch, pair_payload
 from repro.net.message import Message
-from repro.net.vectorops import needs_truncation, segmented_keep_indices
+from repro.net.soa import SoAInbox, SoAProtocolClass
+from repro.net.vectorops import group_argsort, needs_truncation, segmented_keep_indices
 
 __all__ = [
     "CapacityPolicy",
     "NetworkMetrics",
     "ProtocolNode",
     "BatchProtocolNode",
+    "SoAProtocolClass",
+    "SoAInbox",
     "SyncNetwork",
     "ENGINES",
 ]
@@ -194,45 +197,68 @@ class SyncNetwork:
 
     def __init__(
         self,
-        nodes: dict[int, ProtocolNode],
+        nodes: dict[int, ProtocolNode] | SoAProtocolClass,
         capacity: CapacityPolicy,
         rng: np.random.Generator,
         engine: str = "vectorized",
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-        self.nodes = nodes
         self.capacity = capacity
         self.rng = rng
         self.engine = engine
         self.round_no = 0
         self._metrics = NetworkMetrics()
-        n = len(nodes)
-        self._n = n
-        self._ids = (
-            np.fromiter(nodes.keys(), dtype=np.int64, count=n)
-            if n
-            else np.empty(0, dtype=np.int64)
-        )
-        self._index = {nid: i for i, nid in enumerate(nodes)}
-        self._contiguous = bool(n) and bool((self._ids == np.arange(n)).all())
-        if not self._contiguous:
-            self._sort_order = np.argsort(self._ids, kind="stable")
-            self._sorted_ids = self._ids[self._sort_order]
-        self._is_batch = {
-            nid: isinstance(node, BatchProtocolNode) for nid, node in nodes.items()
-        }
-        self._any_batch = any(self._is_batch.values())
-        self._pending: dict[int, list[Message] | MessageBatch] = {
-            nid: (MessageBatch.empty() if self._is_batch[nid] else [])
-            for nid in nodes
-        }
+        if isinstance(nodes, SoAProtocolClass):
+            # SoA tier: one object holds every node's state; delivery runs
+            # through the same vectorized flat tail as batch traffic.
+            if engine != "vectorized":
+                raise ValueError(
+                    "SoA protocol classes require the vectorized engine"
+                )
+            self._soa = nodes
+            self._soa_inbox = SoAInbox.empty()
+            self.nodes = {}
+            n = nodes.n
+            self._n = n
+            self._ids = np.arange(n, dtype=np.int64)
+            self._index = {}
+            self._contiguous = True
+            # Per-node bookkeeping stays empty on the SoA path — run_round
+            # short-circuits into _deliver_soa and never consults it.
+            self._is_batch = {}
+            self._any_batch = False
+            self._pending: dict[int, list[Message] | MessageBatch] = {}
+        else:
+            self._soa = None
+            self.nodes = nodes
+            n = len(nodes)
+            self._n = n
+            self._ids = (
+                np.fromiter(nodes.keys(), dtype=np.int64, count=n)
+                if n
+                else np.empty(0, dtype=np.int64)
+            )
+            self._index = {nid: i for i, nid in enumerate(nodes)}
+            self._contiguous = bool(n) and bool((self._ids == np.arange(n)).all())
+            if not self._contiguous:
+                self._sort_order = np.argsort(self._ids, kind="stable")
+                self._sorted_ids = self._ids[self._sort_order]
+            self._is_batch = {
+                nid: isinstance(node, BatchProtocolNode) for nid, node in nodes.items()
+            }
+            self._any_batch = any(self._is_batch.values())
+            self._pending = {
+                nid: (MessageBatch.empty() if self._is_batch[nid] else [])
+                for nid in nodes
+            }
         # Vectorized engines accumulate per-node totals in arrays and flush
         # them into the metrics dicts lazily (see the ``metrics`` property).
         self._sent_counts = np.zeros(n, dtype=np.int64)
         self._recv_counts = np.zeros(n, dtype=np.int64)
         self._counts_dirty = False
         self._pending_count = 0
+        self._sort_cache: tuple[np.ndarray | None, np.ndarray | None] = (None, None)
 
     # ------------------------------------------------------------------
     @property
@@ -261,6 +287,15 @@ class SyncNetwork:
         outgoing traffic is validated (no forged senders) before any of it
         enters the network.
         """
+        if self._soa is not None:
+            inbox = self._soa_inbox
+            self._soa_inbox = SoAInbox.empty()
+            produced = self._soa.on_round_soa(self.round_no, inbox)
+            self._deliver_soa(produced)
+            self.round_no += 1
+            self._metrics.rounds = self.round_no
+            return
+
         outputs: list[tuple[int, list[Message] | MessageBatch]] = []
         pending = self._pending
         is_batch = self._is_batch
@@ -401,21 +436,15 @@ class SyncNetwork:
     # Vectorized engine: flat index buffers + segment truncation.
     # ------------------------------------------------------------------
     def _deliver_vectorized(self, outputs) -> None:
-        """Array-path delivery.
+        """Array-path delivery (pack phase).
 
         The round's traffic is packed into flat parallel columns (sender
-        index, receiver id, kind code, payload), self-addressed messages
-        are split off with one vectorized mask, capacity truncation runs
-        on index buffers via :func:`segmented_keep_indices`, and inboxes
-        are cut as *views* of receiver-sorted columns — per-message Python
-        work only happens for object-node interop.
+        index, receiver id, kind code, payload) in canonical order and
+        handed to :meth:`_deliver_flat` — the shared tail that also
+        serves the SoA tier, so every representation consumes the
+        delivery RNG identically.
         """
-        cap = self.capacity
-        metrics = self._metrics
-        n = self._n
         index = self._index
-        ids = self._ids
-        contiguous = self._contiguous
         build_codes = self._any_batch
 
         # ---- pack ------------------------------------------------------
@@ -574,6 +603,101 @@ class SyncNetwork:
                         pay2_has_all[offset : offset + length] = has2
                     offset += length
 
+        self._deliver_flat(
+            rcv_all,
+            snd_all,
+            kind_all,
+            pay_all,
+            pay_ok_all,
+            pay2_all,
+            pay2_has_all,
+            objs,
+            round_kind,
+            uniform_kinds,
+        )
+
+    # ------------------------------------------------------------------
+    # SoA engine entry: one batch carries the whole population's round.
+    # ------------------------------------------------------------------
+    def _deliver_soa(self, produced: MessageBatch | None) -> None:
+        """Validate an SoA class's round batch and feed the shared tail.
+
+        The class's emitted columns *are* the packed round: senders must
+        already be in canonical order (ascending node index, per-sender
+        emission order), which is what keeps truncation draws, metrics,
+        and inbox sequences bit-for-bit equal to the per-node tiers.
+        """
+        if produced is None or produced.receivers.shape[0] == 0:
+            self._pending_count = 0
+            return
+        rcv_all = produced.receivers
+        m = rcv_all.shape[0]
+        senders = produced.senders
+        if type(senders) is not np.ndarray:
+            snd_all = np.full(m, int(senders), dtype=np.int64)
+        else:
+            snd_all = senders
+        if snd_all.shape[0] != m:
+            raise ValueError("SoA batch senders column must match receivers")
+        if (
+            int(snd_all[0]) < 0
+            or int(snd_all[-1]) >= self._n
+            or (snd_all[1:] < snd_all[:-1]).any()
+        ):
+            raise ValueError(
+                "SoA batch senders must be node indices sorted ascending "
+                "(the canonical emission order)"
+            )
+        kinds = produced.kinds
+        if type(kinds) is np.ndarray:
+            round_kind, kind_all, uniform_kinds = None, kinds, False
+        else:
+            round_kind, kind_all, uniform_kinds = int(kinds), None, True
+        self._deliver_flat(
+            rcv_all,
+            snd_all,
+            kind_all,
+            produced.payloads,
+            None,
+            produced.payloads2,
+            None,
+            None,
+            round_kind,
+            uniform_kinds,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared delivery tail: local split, truncation, metrics, assembly.
+    # ------------------------------------------------------------------
+    def _deliver_flat(
+        self,
+        rcv_all,
+        snd_all,
+        kind_all,
+        pay_all,
+        pay_ok_all,
+        pay2_all,
+        pay2_has_all,
+        objs,
+        round_kind,
+        uniform_kinds,
+    ) -> None:
+        """Deliver one round packed as flat parallel columns.
+
+        Self-addressed messages are split off with one vectorized mask,
+        capacity truncation runs on index buffers via
+        :func:`segmented_keep_indices`, and inboxes are cut as *views* of
+        receiver-sorted columns (or kept whole as the next
+        :class:`SoAInbox`) — per-message Python work only happens for
+        object-node interop.
+        """
+        cap = self.capacity
+        metrics = self._metrics
+        n = self._n
+        ids = self._ids
+        contiguous = self._contiguous
+        m_total = rcv_all.shape[0]
+
         # ---- split off self-addressed traffic (bypasses the network) ---
         snd_real = snd_all if contiguous else ids[snd_all]
         local_mask = rcv_all == snd_real
@@ -714,7 +838,27 @@ class SyncNetwork:
         if not m_total:
             return
 
-        order = np.argsort(rcv_idx, kind="stable")
+        # Receiver grouping permutation.  Rounds that re-emit the *same*
+        # receiver column object (e.g. flooding protocols announcing over
+        # a fixed adjacency every round) reuse the previous permutation —
+        # valid because truncation and local splits always materialise
+        # fresh arrays, so object identity implies identical values
+        # (emitted batch columns are read-only by contract).
+        cached_rcv, cached_order = self._sort_cache
+        if rcv_idx is cached_rcv:
+            order = cached_order
+        else:
+            order = group_argsort(rcv_idx, n)
+            # Freeze the cached column: emitted batch columns are
+            # read-only by contract, and freezing turns direct in-place
+            # mutation of a re-emitted receivers buffer (which would
+            # silently reuse a stale permutation) into an immediate
+            # error.  Writes through a *different* view of the same base
+            # remain the emitter's responsibility — the base is not
+            # frozen, since never-emitted slots of a scratch buffer are
+            # legitimately writable.
+            rcv_idx.flags.writeable = False
+            self._sort_cache = (rcv_idx, order)
         rcv_s = rcv_idx[order]
         snd_s = snd_all[order]
         snd_real_s = snd_s if contiguous else ids[snd_s]
@@ -725,6 +869,18 @@ class SyncNetwork:
         pay2_s = pay2_all[order] if pay2_all is not None else None
         has2_s = pay2_has_all[order] if pay2_has_all is not None else None
         objs_s = [objs[i] for i in order.tolist()] if objs is not None else None
+
+        if self._soa is not None:
+            # The sorted columns ARE the next round's inbox: no group
+            # cutting, no per-node objects — one SoAInbox for everyone.
+            self._soa_inbox = SoAInbox(
+                snd_real_s,
+                rcv_s,
+                round_kind if uniform_kinds else kind_s,
+                pay_s,
+                pay2_s,
+            )
+            return
 
         cuts = np.flatnonzero(rcv_s[1:] != rcv_s[:-1]) + 1
         starts = [0] + cuts.tolist() + [m_total]
@@ -812,8 +968,10 @@ class SyncNetwork:
         for _ in range(max_rounds):
             self.run_round()
             in_flight = self.pending_messages()
-            idle = in_flight == 0 and all(
-                node.is_idle() for node in self.nodes.values()
+            idle = in_flight == 0 and (
+                self._soa.is_idle()
+                if self._soa is not None
+                else all(node.is_idle() for node in self.nodes.values())
             )
             if stop_when is not None and stop_when():
                 self._metrics.stopped_by_predicate = True

@@ -21,7 +21,23 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["segmented_keep_indices", "needs_truncation"]
+__all__ = ["segmented_keep_indices", "needs_truncation", "group_argsort"]
+
+
+def group_argsort(values: np.ndarray, bound: int) -> np.ndarray:
+    """Stable argsort of small non-negative integers (group labels).
+
+    Exactly ``np.argsort(values, kind="stable")`` for ``values`` in
+    ``[0, bound)``, but ~4× faster on large rounds: when the unique
+    combined key ``value·m + index`` fits in int64 it is introsorted
+    (numpy's stable sort for int64 is a mergesort, which the delivery
+    tail's per-round receiver grouping spends most of its time in).
+    Falls back to the stable sort when the key could overflow.
+    """
+    m = values.shape[0]
+    if m and bound <= (2**62) // m:
+        return np.argsort(values * np.int64(m) + np.arange(m, dtype=np.int64))
+    return np.argsort(values, kind="stable")
 
 
 def segmented_keep_indices(

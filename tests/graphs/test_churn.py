@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.graphs import generators as G
-from repro.graphs.churn import churn_report, fail_nodes, survival_curve
+from repro.graphs.churn import (
+    churn_report,
+    fail_nodes,
+    rebuild_survivor_overlay,
+    survival_curve,
+)
 
 
 class TestFailNodes:
@@ -80,3 +85,57 @@ class TestSurvivalCurve:
             overlay_rows[0]["mean_largest_fraction"]
             > 2 * ring_rows[0]["mean_largest_fraction"]
         )
+
+
+class TestSurvivorRebuild:
+    """The §1.4 "throw away and reconstruct" step on the batched engine."""
+
+    def test_rebuild_produces_valid_overlay(self):
+        rng = np.random.default_rng(7)
+        result = rebuild_survivor_overlay(G.complete_graph(48), 0.25, rng)
+        k = result.survivors.shape[0]
+        assert k == result.report.largest_component
+        assert result.overlay.well_formed.max_degree() <= 3
+        assert result.overlay.bfs.parent.shape[0] == k
+        # Survivor labels are original ids: a subset of 0..n-1, sorted.
+        assert (np.diff(result.survivors) > 0).all()
+        assert 0 <= result.survivors[0] and result.survivors[-1] < 48
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seed_matched_rebuild_identical_across_engines(self, seed):
+        """Regression: under one seed, every execution tier reconstructs
+        the *identical* survivor overlay — same survivor set, same BFS
+        tree, same round ledger — so churn re-runs can move to the
+        batched/SoA tiers without changing a single result."""
+        runs = {}
+        for rooting in ("reference", "protocol", "batch", "soa"):
+            rng = np.random.default_rng(100 + seed)
+            runs[rooting] = rebuild_survivor_overlay(
+                G.complete_graph(40), 0.3, rng, rooting=rooting
+            )
+        ref = runs["reference"]
+        for rooting, run in runs.items():
+            assert np.array_equal(run.survivors, ref.survivors), rooting
+            assert np.array_equal(run.overlay.bfs.parent, ref.overlay.bfs.parent)
+            assert np.array_equal(run.overlay.bfs.depth, ref.overlay.bfs.depth)
+            # Every phase except the bfs entry (whose round *accounting*
+            # legitimately differs: tree height for the oracle, flood +
+            # BFS protocol rounds for the message tiers) matches the
+            # reference ledger exactly.
+            for phase in ("prepare", "evolutions", "well_forming"):
+                assert run.overlay.round_ledger[phase] == ref.overlay.round_ledger[phase], (
+                    rooting,
+                    phase,
+                )
+        # The message-level tiers agree on the full ledger, bfs included.
+        assert (
+            runs["batch"].overlay.round_ledger
+            == runs["soa"].overlay.round_ledger
+            == runs["protocol"].overlay.round_ledger
+        )
+
+    def test_total_churn_raises(self):
+        with pytest.raises(ValueError, match="rebuild"):
+            rebuild_survivor_overlay(
+                G.cycle_graph(16), 1.0, np.random.default_rng(0)
+            )

@@ -78,6 +78,31 @@ class TestRoundCharges:
         assert battery["node_count"].value == 25
 
 
+class TestEngineSelection:
+    """Smoke: the monitor's tree construction runs on any execution tier
+    and every tier yields the identical monitors (same values, same
+    round charges) — the bench_x2 path no longer needs object-level
+    rooting."""
+
+    @pytest.mark.parametrize("rooting", ["protocol", "batch", "soa"])
+    def test_tiers_match_reference_monitor(self, rooting):
+        g = G.torus_2d(4, 4)
+        ref = NetworkMonitor(g).all_monitors()
+        got = NetworkMonitor(g, rooting=rooting).all_monitors()
+        for query, report in ref.items():
+            assert got[query].value == report.value, query
+            assert got[query].rounds == report.rounds, query
+
+    def test_unknown_rooting_rejected(self):
+        with pytest.raises(ValueError, match="rooting"):
+            NetworkMonitor(G.cycle_graph(6), rooting="warp-drive")
+
+    def test_disconnected_rejected_on_message_tier(self):
+        mix, _ = G.component_mixture([G.line_graph(4), G.line_graph(4)])
+        with pytest.raises(ValueError, match="connected"):
+            NetworkMonitor(mix, rooting="batch")
+
+
 class TestValidation:
     def test_disconnected_rejected(self):
         mix, _ = G.component_mixture([G.line_graph(4), G.line_graph(4)])

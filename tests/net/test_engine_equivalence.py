@@ -1,11 +1,14 @@
-"""Differential equivalence: legacy vs. vectorized delivery engines.
+"""Differential equivalence: legacy vs. vectorized delivery engines,
+across all three node representations (object, batch, SoA).
 
-Both engines of :class:`SyncNetwork` implement the §1.1 NCC0 semantics
+All engines of :class:`SyncNetwork` implement the §1.1 NCC0 semantics
 under one canonical RNG discipline (see ``docs/engine.md``), so under the
 same seed they must produce *identical* executions — not just statistically
 similar ones.  This suite replays seeded random workloads (mixed
 self-loops, over-capacity senders, hot receivers) through every
-engine × node-representation combination and asserts exact equality of
+engine × node-representation combination — including the SoA tier, where
+one :class:`SoAProtocolClass` emits the whole population's round — and
+asserts exact equality of
 
 - per-node inbox multisets (in fact full sequences) for every round, and
 - every :class:`NetworkMetrics` aggregate,
@@ -22,6 +25,7 @@ from repro.net.network import (
     BatchProtocolNode,
     CapacityPolicy,
     ProtocolNode,
+    SoAProtocolClass,
     SyncNetwork,
 )
 
@@ -117,6 +121,50 @@ class BatchScriptedNode(BatchProtocolNode):
         return False
 
 
+class SoAScriptedClass(SoAProtocolClass):
+    """Replays the same plan as one SoA class; logs every node's inbox.
+
+    The plan is flattened per round into one batch in canonical order
+    (ascending sender, per-sender emission order) — exactly the flat
+    buffer the engine packs from per-node outputs, so the executions must
+    coincide bit for bit, drops and all.
+    """
+
+    def __init__(self, n, plan):
+        super().__init__(n)
+        self.log = {v: [] for v in range(n)}
+        self._rounds = []
+        for r in range(max(len(plan[v]) for v in plan)):
+            senders, receivers, kinds, payloads = [], [], [], []
+            for v in range(n):
+                for receiver, kind, payload in plan[v][r] if r < len(plan[v]) else []:
+                    senders.append(v)
+                    receivers.append(receiver)
+                    kinds.append(KINDS.code(kind))
+                    payloads.append(payload)
+            if senders:
+                self._rounds.append(
+                    MessageBatch(
+                        np.array(senders, dtype=np.int64),
+                        np.array(receivers, dtype=np.int64),
+                        np.array(kinds, dtype=np.int64),
+                        np.array(payloads, dtype=np.int64),
+                    )
+                )
+            else:
+                self._rounds.append(None)
+
+    def on_round_soa(self, round_no, inbox):
+        for v, msgs in enumerate(inbox.to_node_lists(self.n)):
+            self.log[v].append(msgs)
+        if round_no >= len(self._rounds):
+            return None
+        return self._rounds[round_no]
+
+    def is_idle(self):
+        return False
+
+
 def run_workload(plan, node_cls, engine, capacity, net_seed, rounds=N_ROUNDS + 1):
     nodes = {v: node_cls(v, plan[v]) for v in sorted(plan)}
     net = SyncNetwork(nodes, capacity, np.random.default_rng(net_seed), engine=engine)
@@ -124,6 +172,14 @@ def run_workload(plan, node_cls, engine, capacity, net_seed, rounds=N_ROUNDS + 1
         net.run_round()
     logs = {v: nodes[v].log for v in nodes}
     return logs, net.metrics.as_dict()
+
+
+def run_soa_workload(plan, capacity, net_seed, rounds=N_ROUNDS + 1):
+    cls = SoAScriptedClass(N_NODES, plan)
+    net = SyncNetwork(cls, capacity, np.random.default_rng(net_seed))
+    for _ in range(rounds):
+        net.run_round()
+    return cls.log, net.metrics.as_dict()
 
 
 CAPACITY = CapacityPolicy(max_send=6, max_receive=5)
@@ -167,6 +223,76 @@ class TestCrossRepresentationEquivalence:
         for key, (logs, metrics) in runs.items():
             assert metrics == reference_metrics, key
             assert logs == reference_logs, key
+
+
+class TestSoAEquivalence:
+    """The SoA tier replays the identical workloads — over-capacity
+    senders, hot receivers, self-loops, mixed kinds — and must coincide
+    exactly with the per-node tiers on both engines: the three-way
+    (object / batch / SoA) matrix of ISSUE 3."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_soa_matches_object_oracle(self, seed):
+        plan = make_plan(seed)
+        logs_obj, metrics_obj = run_workload(plan, ScriptedNode, "legacy", CAPACITY, seed)
+        logs_soa, metrics_soa = run_soa_workload(plan, CAPACITY, seed)
+        assert metrics_soa == metrics_obj
+        assert logs_soa == logs_obj
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_soa_matches_batch_vectorized(self, seed):
+        plan = make_plan(seed)
+        logs_bat, metrics_bat = run_workload(
+            plan, BatchScriptedNode, "vectorized", CAPACITY, seed
+        )
+        logs_soa, metrics_soa = run_soa_workload(plan, CAPACITY, seed)
+        assert metrics_soa == metrics_bat
+        assert logs_soa == logs_bat
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_soa_unbounded(self, seed):
+        plan = make_plan(seed)
+        cap = CapacityPolicy.unbounded()
+        logs_obj, metrics_obj = run_workload(plan, ScriptedNode, "legacy", cap, seed)
+        logs_soa, metrics_soa = run_soa_workload(plan, cap, seed)
+        assert metrics_soa == metrics_obj
+        assert logs_soa == logs_obj
+        assert metrics_soa["send_drops"] == 0
+
+    def test_soa_rejects_legacy_engine(self):
+        cls = SoAScriptedClass(4, {v: [[]] for v in range(4)})
+        with pytest.raises(ValueError, match="vectorized"):
+            SyncNetwork(cls, CAPACITY, np.random.default_rng(0), engine="legacy")
+
+    def test_soa_rejects_unsorted_senders(self):
+        class Unsorted(SoAProtocolClass):
+            def on_round_soa(self, round_no, inbox):
+                return MessageBatch(
+                    np.array([2, 1], dtype=np.int64),
+                    np.array([0, 0], dtype=np.int64),
+                    "ping",
+                    np.array([1, 2], dtype=np.int64),
+                )
+
+        net = SyncNetwork(Unsorted(4), CAPACITY, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="ascending"):
+            net.run_round()
+
+    def test_soa_unknown_receiver_raises_same_error(self):
+        class Stray(SoAProtocolClass):
+            def on_round_soa(self, round_no, inbox):
+                return MessageBatch(
+                    np.array([0], dtype=np.int64),
+                    np.array([999], dtype=np.int64),
+                    "ping",
+                    np.array([1], dtype=np.int64),
+                )
+
+        net = SyncNetwork(
+            Stray(4), CapacityPolicy.unbounded(), np.random.default_rng(0)
+        )
+        with pytest.raises(KeyError, match="unknown node 999"):
+            net.run_round()
 
 
 class TestUnbounded:

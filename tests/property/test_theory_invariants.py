@@ -116,6 +116,76 @@ class TestCheegerSandwichOnEvolutions:
         assert lo - 1e-9 <= phi <= hi + 1e-9
 
 
+class TestSoAColumnInvariants:
+    """Seeded-random property checks on the SoA rooting state columns.
+
+    The SoA tier holds the whole population's protocol state in shared
+    numpy arrays; these tests pin the *theory-level* invariants of those
+    columns round by round — the facts footnote 8's correctness argument
+    rests on — over randomized low-diameter multigraphs:
+
+    - min-id flooding is monotone: ``best`` never increases at any node
+      and is always a valid node id ≥ the global minimum;
+    - the finished parent array is acyclic and rooted (every non-root
+      strictly decreases ``depth`` towards its parent);
+    - ``depth`` equals true BFS distance from the elected root.
+    """
+
+    @staticmethod
+    def _random_overlay(n, seed, chords):
+        return PortGraph.ring_with_chords(
+            n, delta=2 + 2 * chords + 2, chords=chords, seed=seed
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_min_id_column_monotone_per_round(self, seed):
+        from repro.core.soa_rooting import SoARootingClass, csr_neighbors
+        from repro.net.network import CapacityPolicy, SyncNetwork
+
+        n = 40 + 12 * (seed % 3)
+        graph = self._random_overlay(n, seed, chords=1 + seed % 3)
+        flood = math.ceil(math.log2(n)) + 6
+        cls = SoARootingClass(*csr_neighbors(graph), flood)
+        net = SyncNetwork(
+            cls, CapacityPolicy.ncc0(n, graph.delta), np.random.default_rng(seed)
+        )
+        prev = cls.best.copy()
+        for _ in range(flood + 4 * flood + 8):
+            net.run_round()
+            assert (cls.best <= prev).all(), "min-id flooding regressed"
+            assert (cls.best >= 0).all() and (cls.best < n).all()
+            prev = cls.best.copy()
+            if cls.is_idle() and net.pending_messages() == 0:
+                break
+        # Flooding converged to the global minimum everywhere.
+        assert (cls.best == 0).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_parent_array_acyclic_and_depth_consistent(self, seed):
+        from repro.core.soa_rooting import run_soa_rooting
+        from repro.graphs.analysis import bfs_distances
+
+        n = 36 + 16 * (seed % 4)
+        graph = self._random_overlay(n, seed * 31 + 5, chords=1 + seed % 2)
+        result = run_soa_rooting(graph, math.ceil(math.log2(n)) + 6)
+        parent, depth = result.parent, result.depth
+        root = result.root
+        # Rooted: exactly one fixed point, at depth 0.
+        assert parent[root] == root and depth[root] == 0
+        non_root = np.flatnonzero(parent != np.arange(n))
+        assert non_root.shape[0] == n - 1
+        # Acyclic: depth strictly decreases along every parent pointer,
+        # so following parents can never revisit a node.
+        assert (depth[parent[non_root]] == depth[non_root] - 1).all()
+        # Edge validity: every parent is a real neighbour.
+        sets = graph.neighbor_sets()
+        for v in non_root.tolist():
+            assert int(parent[v]) in sets[v]
+        # Depth = true BFS distance from the elected (minimum-id) root.
+        assert root == 0
+        assert np.array_equal(depth, bfs_distances(sets, root))
+
+
 class TestVertexExpansion:
     def test_of_set_matches_hand_count(self):
         adj = adjacency_sets(G.star_graph(6))
