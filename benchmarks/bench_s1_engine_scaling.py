@@ -23,7 +23,6 @@ Run standalone:  ``PYTHONPATH=src python benchmarks/bench_s1_engine_scaling.py``
 """
 
 import argparse
-import os
 import sys
 import time
 
@@ -32,7 +31,12 @@ import numpy as np
 from repro.core.batch_protocol import run_batch_expander
 from repro.core.params import ExpanderParams
 from repro.core.protocol import run_protocol_expander
-from repro.experiments.harness import Table, add_engine_argument, select_engine
+from repro.experiments.harness import (
+    ENGINE_CHOICES,
+    Table,
+    add_engine_argument,
+    tier_filter,
+)
 from repro.graphs import generators as G
 
 FULL_SIZES = (1_000, 5_000, 10_000)
@@ -171,12 +175,8 @@ def main(argv=None) -> int:
     add_engine_argument(parser)
     args = parser.parse_args(argv)
     # Filter only when the user chose an engine (CLI flag or REPRO_ENGINE
-    # env var — select_engine validates both and fails loudly on typos).
-    engine_filter = (
-        select_engine(args.engine)
-        if args.engine or os.environ.get("REPRO_ENGINE")
-        else None
-    )
+    # env var — tier_filter validates both and fails loudly on typos).
+    engine_filter = tier_filter("engine", args.engine, choices=ENGINE_CHOICES)
     run_experiment(smoke=args.smoke, engine_filter=engine_filter)
     return 0
 

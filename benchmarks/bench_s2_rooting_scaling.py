@@ -29,7 +29,6 @@ Run standalone:  ``PYTHONPATH=src python benchmarks/bench_s2_rooting_scaling.py`
 
 import argparse
 import math
-import os
 import sys
 import time
 
@@ -41,7 +40,7 @@ from repro.experiments.harness import (
     TIER_CHOICES,
     Table,
     add_engine_argument,
-    select_engine,
+    tier_filter,
 )
 from repro.graphs.portgraph import PortGraph
 
@@ -191,11 +190,7 @@ def main(argv=None) -> int:
     )
     add_engine_argument(parser, choices=TIER_CHOICES)
     args = parser.parse_args(argv)
-    engine_filter = (
-        select_engine(args.engine, choices=TIER_CHOICES)
-        if args.engine or os.environ.get("REPRO_ENGINE")
-        else None
-    )
+    engine_filter = tier_filter("engine", args.engine)
     run_experiment(smoke=args.smoke, engine_filter=engine_filter)
     return 0
 

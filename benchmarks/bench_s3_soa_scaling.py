@@ -28,7 +28,6 @@ to restrict the stacks timed).
 
 import argparse
 import math
-import os
 import sys
 import time
 
@@ -36,7 +35,7 @@ import numpy as np
 
 from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
 from repro.core.soa_rooting import run_soa_rooting
-from repro.experiments.harness import TIER_CHOICES, Table, add_engine_argument, select_engine
+from repro.experiments.harness import TIER_CHOICES, Table, add_engine_argument, tier_filter
 from repro.graphs.portgraph import PortGraph
 
 FULL_SIZES = (10_000, 100_000)
@@ -171,11 +170,7 @@ def main(argv=None) -> int:
     )
     add_engine_argument(parser, choices=TIER_CHOICES)
     args = parser.parse_args(argv)
-    engine_filter = (
-        select_engine(args.engine, choices=TIER_CHOICES)
-        if args.engine or os.environ.get("REPRO_ENGINE")
-        else None
-    )
+    engine_filter = tier_filter("engine", args.engine)
     run_experiment(smoke=args.smoke, engine_filter=engine_filter)
     return 0
 

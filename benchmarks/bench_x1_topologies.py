@@ -21,14 +21,18 @@ from repro.core.topologies import (
     build_sorted_path,
     build_sorted_ring,
 )
-from repro.experiments.harness import Table
+from repro.experiments.harness import Table, select_tier
 from repro.graphs.generators import line_graph
 
 
 def bench_x1_structured_overlays(benchmark):
+    # Every rooting tier builds the identical tree; REPRO_ROOTING selects
+    # the execution path under measurement.
+    rooting = select_tier("rooting", default="batch")
+
     def experiment():
         n = 256
-        result = build_well_formed_tree(line_graph(n), rng=seeded(4))
+        result = build_well_formed_tree(line_graph(n), rng=seeded(4), rooting=rooting)
         tree = result.tree
         builders = {
             "sorted_path": build_sorted_path,

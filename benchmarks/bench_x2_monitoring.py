@@ -23,13 +23,13 @@ import networkx as nx
 from _common import run_once, seeded
 from repro.baselines import supernode_merge
 from repro.core.pipeline import build_well_formed_tree
-from repro.experiments.harness import Table, select_rooting
+from repro.experiments.harness import Table, select_tier
 from repro.graphs import generators as G
 from repro.hybrid.monitoring import NetworkMonitor
 
 
 def bench_x2_monitor_battery(benchmark):
-    rooting = select_rooting(default="batch")
+    rooting = select_tier("rooting", default="batch")
 
     def experiment():
         table = Table(

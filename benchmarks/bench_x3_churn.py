@@ -12,16 +12,20 @@ churn levels.
 
 from _common import run_once, seeded
 from repro.core.pipeline import build_well_formed_tree
-from repro.experiments.harness import Table
+from repro.experiments.harness import Table, select_tier
 from repro.graphs.churn import survival_curve
 from repro.graphs.generators import cycle_graph
 
 
 def bench_x3_survival_curves(benchmark):
+    # Identical overlay on every rooting tier; REPRO_ROOTING selects the
+    # execution path under measurement.
+    rooting = select_tier("rooting", default="batch")
+
     def experiment():
         n = 256
         ring = cycle_graph(n)
-        overlay = build_well_formed_tree(ring, rng=seeded(0)).final_graph()
+        overlay = build_well_formed_tree(ring, rng=seeded(0), rooting=rooting).final_graph()
         probs = [0.05, 0.15, 0.30, 0.50]
         rng = seeded(1)
         ring_rows = survival_curve(ring, probs, rng, trials=6)

@@ -1,0 +1,90 @@
+"""Adversarial sweep: rooting under simultaneous delays, drops and churn.
+
+Real overlays do not fail one adversary at a time — footnote 2's message
+delays, §1.1's capacity drops, and §1.4's churn act together.  The
+scenario engine (`repro.scenarios`) composes them declaratively: a
+:class:`ScenarioSpec` stacks link delays, oblivious message drops, and
+crash waves; the compiled fault streams are applied inside the delivery
+tail, so the same spec + seed hits every execution tier identically.
+
+This example drives a small delay × churn grid through
+:class:`ScenarioRunner` on the SoA tier (delay sweeps are columnar end to
+end — a flat release-time queue instead of per-node message holding) and
+prints a survival/convergence table: how often rooting still quiesces,
+and how much of the population the BFS tree reaches, as the adversary
+stack grows.
+
+Run:  PYTHONPATH=src python examples/adversarial_sweep.py
+"""
+
+import numpy as np
+
+from repro.experiments.harness import Table
+from repro.scenarios import CrashWave, LinkDelay, MessageDrop, ScenarioRunner, ScenarioSpec
+
+
+def main() -> None:
+    n = 1024
+    seeds = tuple(range(5))
+    delays = (1, 4, 8)
+    crash_fractions = (0.0, 0.1, 0.25)
+
+    specs = []
+    for d in delays:
+        for c in crash_fractions:
+            specs.append(
+                ScenarioSpec(
+                    name=f"sweep/d{d}-c{c:g}",
+                    delay=LinkDelay(d) if d > 1 else None,
+                    drop=MessageDrop(0.01),  # a whiff of link loss throughout
+                    crashes=(CrashWave(round_no=3, fraction=c),) if c > 0 else (),
+                    fault_seed=42,
+                )
+            )
+
+    runner = ScenarioRunner(sizes=(n,), seeds=seeds, tiers=("soa",))
+    print(
+        f"rooting n={n} under {len(specs)} adversary stacks x {len(seeds)} seeds "
+        "(SoA tier, columnar synchroniser) ..."
+    )
+    payload = runner.run_grid(tuple(specs))
+
+    table = Table(
+        f"adversarial sweep: delay x churn at n = {n} (drop p = 0.01)",
+        [
+            "max_delay",
+            "crash_frac",
+            "converged",
+            "spanned",
+            "mean_assigned",
+            "mean_dilation",
+            "fault_drops",
+        ],
+    )
+    for spec in specs:
+        rows = [r for r in payload["rows"] if r["scenario"]["name"] == spec.name]
+        dilations = [
+            r["elapsed_time_units"] / r["rounds"] for r in rows if r["rounds"]
+        ]
+        crash_frac = rows[0]["scenario"]["crashes"][0]["fraction"] if rows[0]["scenario"]["crashes"] else 0.0
+        table.add(
+            rows[0]["scenario"]["max_delay"],
+            crash_frac,
+            f"{sum(r['converged'] for r in rows)}/{len(rows)}",
+            f"{sum(r['spanned'] for r in rows)}/{len(rows)}",
+            float(np.mean([r["assigned_fraction"] for r in rows])),
+            float(np.mean(dilations)) if dilations else 0.0,
+            sum(r["fault_drops"] for r in rows),
+        )
+    table.show()
+
+    print(
+        "reading: with no churn the delayed runs still build the full tree\n"
+        "(the synchroniser barrier makes delays a pure wall-clock dilation);\n"
+        "crash waves isolate nodes mid-flood, so the tree only reaches the\n"
+        "surviving fraction and heavy churn costs convergence entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

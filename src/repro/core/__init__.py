@@ -32,8 +32,10 @@ from repro.core.expander import (
     create_expander,
 )
 from repro.core.protocol_tree import (
+    ROOTING_TIERS,
     BatchRootingNode,
     TreeProtocolResult,
+    build_rooting_population,
     run_batch_rooting,
     run_protocol_rooting,
     run_rooting_under_asynchrony,
@@ -87,6 +89,8 @@ __all__ = [
     "run_batch_rooting",
     "run_protocol_rooting",
     "run_rooting_under_asynchrony",
+    "ROOTING_TIERS",
+    "build_rooting_population",
     "SoARootingClass",
     "csr_neighbors",
     "run_soa_rooting",

@@ -35,9 +35,24 @@ from repro.graphs.portgraph import PortGraph
 __all__ = [
     "OverlayBuildResult",
     "build_well_formed_tree",
+    "rooting_flood_rounds",
     "ROOTING_MODES",
     "EXPANDER_MODES",
 ]
+
+
+def rooting_flood_rounds(n: int) -> int:
+    """The pipeline's flooding budget for the rooting phase.
+
+    The paper's budget: ``L ≥ log n ≥ diameter`` rounds of flooding.  The
+    final expander's diameter is ``O(log n)`` w.h.p.; the doubled budget
+    absorbs the constant, and an insufficient flood surfaces as a
+    multiple-root RuntimeError rather than a silently wrong tree.  Shared
+    with the adversarial scenario runner
+    (:mod:`repro.scenarios.runner`), whose rooting workloads must stay
+    comparable with pipeline-built trees.
+    """
+    return 2 * max(1, math.ceil(math.log2(max(2, n)))) + 2
 
 #: How step 3 (rooting) executes: ``"reference"`` runs the centralised
 #: adjacency-loop oracle of :mod:`repro.core.bfs`; ``"protocol"``,
@@ -63,11 +78,7 @@ def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BF
     from repro.core.soa_rooting import run_soa_rooting
 
     n = graph.n
-    # The paper's budget: L ≥ log n ≥ diameter rounds of flooding.  The
-    # final expander's diameter is O(log n) w.h.p.; the doubled budget
-    # absorbs the constant, and an insufficient flood surfaces as a
-    # multiple-root RuntimeError rather than a silently wrong tree.
-    flood_rounds = 2 * max(1, math.ceil(math.log2(max(2, n)))) + 2
+    flood_rounds = rooting_flood_rounds(n)
     runner = {
         "batch": run_batch_rooting,
         "soa": run_soa_rooting,

@@ -60,10 +60,16 @@ from repro.net.network import (
 __all__ = [
     "TreeProtocolResult",
     "BatchRootingNode",
+    "ROOTING_TIERS",
+    "build_rooting_population",
     "run_protocol_rooting",
     "run_batch_rooting",
     "run_rooting_under_asynchrony",
 ]
+
+#: Execution tiers a rooting population can be built at (node
+#: representation, orthogonal to the delivery engine).
+ROOTING_TIERS = ("object", "batch", "soa")
 
 MIN_ID = KINDS.code("min_id")
 BFS_OFFER = KINDS.code("bfs_offer")
@@ -227,6 +233,27 @@ def _build_nodes(
     }
 
 
+def build_rooting_population(graph: PortGraph, flood_rounds: int, tier: str = "batch"):
+    """Construct the rooting protocol at any execution tier.
+
+    Returns a node dict (``"object"`` / ``"batch"``) or the SoA
+    population class (``"soa"``) — whatever
+    :class:`~repro.net.network.SyncNetwork` (or the asynchrony
+    synchronisers) accepts directly.  All three run the identical
+    protocol; the scenario runner and the S4 bench select among them.
+    """
+    if tier == "soa":
+        # Lazy import: soa_rooting imports this module at load time.
+        from repro.core.soa_rooting import SoARootingClass, csr_neighbors
+
+        return SoARootingClass(*csr_neighbors(graph), flood_rounds)
+    if tier not in ROOTING_TIERS:
+        raise ValueError(f"tier must be one of {ROOTING_TIERS}, got {tier!r}")
+    return _build_nodes(
+        graph, flood_rounds, BatchRootingNode if tier == "batch" else _RootingNode
+    )
+
+
 def _collect_result(
     nodes: dict[int, ProtocolNode], n: int, metrics: NetworkMetrics
 ) -> TreeProtocolResult:
@@ -355,21 +382,36 @@ def run_rooting_under_asynchrony(
     max_rounds: int | None = None,
     engine: str = "vectorized",
     batched: bool = True,
+    tier: str | None = None,
+    fault_hook=None,
 ) -> tuple[TreeProtocolResult, AsyncReport]:
     """Rooting under the footnote-2 synchroniser, batched by default.
 
     Convenience wiring for churn/delay workloads: builds the rooting
-    nodes (:class:`BatchRootingNode` unless ``batched=False``), runs them
-    through :func:`repro.net.asynchrony.run_with_asynchrony`, and returns
-    the usual :class:`TreeProtocolResult` plus the dilation report.
-    Because the synchroniser's delay stream is independent of delivery,
-    the tree is identical to the synchronous run's under the same seed.
+    population at the chosen execution ``tier`` (``"object"`` /
+    ``"batch"`` / ``"soa"``; defaults to ``"batch"``, or ``"object"``
+    with the older ``batched=False`` switch), runs it through
+    :func:`repro.net.asynchrony.run_with_asynchrony` — the SoA tier lands
+    on the columnar delay-queue synchroniser of
+    :mod:`repro.scenarios.soa_sync` — and returns the usual
+    :class:`TreeProtocolResult` plus the dilation report.  Because the
+    synchroniser's delay stream is independent of delivery, the tree is
+    identical to the synchronous run's under the same seed, at every
+    tier.  ``fault_hook`` threads an adversarial scenario's compiled
+    injector into the network.
     """
+    if tier is None:
+        tier = "batch" if batched else "object"
     rng, capacity, max_rounds = _resolve_defaults(
         graph, flood_rounds, rng, capacity, max_rounds
     )
-    nodes = _build_nodes(graph, flood_rounds, BatchRootingNode if batched else _RootingNode)
+    population = build_rooting_population(graph, flood_rounds, tier)
     report, network = run_with_asynchrony(
-        nodes, capacity, rng, max_delay, max_rounds, engine=engine
+        population, capacity, rng, max_delay, max_rounds,
+        engine=engine, fault_hook=fault_hook,
     )
-    return _collect_result(nodes, graph.n, network.metrics), report
+    if tier == "soa":
+        from repro.core.soa_rooting import collect_soa_result
+
+        return collect_soa_result(population, network.metrics), report
+    return _collect_result(population, graph.n, network.metrics), report

@@ -50,7 +50,12 @@ from repro.core.protocol_tree import (
     _resolve_defaults,
 )
 
-__all__ = ["SoARootingClass", "csr_neighbors", "run_soa_rooting"]
+__all__ = [
+    "SoARootingClass",
+    "collect_soa_result",
+    "csr_neighbors",
+    "run_soa_rooting",
+]
 
 
 def csr_neighbors(graph: PortGraph) -> tuple[np.ndarray, np.ndarray]:
@@ -205,14 +210,18 @@ def run_soa_rooting(
     cls = SoARootingClass(*csr_neighbors(graph), flood_rounds)
     network = SyncNetwork(cls, capacity, rng, engine=engine)
     metrics = network.run(max_rounds=max_rounds)
-    # Columnar result validation (the per-node tiers' _collect_result,
-    # without the per-node loop).
+    return collect_soa_result(cls, metrics)
+
+
+def collect_soa_result(cls: SoARootingClass, metrics) -> TreeProtocolResult:
+    """Columnar result validation (the per-node tiers' ``_collect_result``
+    without the per-node loop); shared with the asynchrony path."""
     parent = cls.parent
     depth = cls.depth
     if (parent < 0).any():
         missing = int((parent < 0).sum())
         raise RuntimeError(f"BFS did not span: {missing} nodes unreached")
-    roots = np.flatnonzero(parent == np.arange(graph.n, dtype=np.int64))
+    roots = np.flatnonzero(parent == np.arange(cls.n, dtype=np.int64))
     if roots.shape[0] != 1:
         raise RuntimeError(f"expected a unique root, got {roots.tolist()}")
     return TreeProtocolResult(

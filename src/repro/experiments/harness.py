@@ -27,6 +27,9 @@ __all__ = [
     "ENGINE_CHOICES",
     "TIER_CHOICES",
     "ROOTING_CHOICES",
+    "EXPANDER_CHOICES",
+    "select_tier",
+    "tier_filter",
     "select_engine",
     "select_rooting",
     "add_engine_argument",
@@ -41,9 +44,69 @@ from repro.net.network import ENGINES as ENGINE_CHOICES  # noqa: E402
 #: vectorized delivery path (one Python call advances all nodes).
 TIER_CHOICES = ENGINE_CHOICES + ("soa",)
 
-#: Rooting modes of :func:`repro.core.pipeline.build_well_formed_tree`
-#: that pipeline-driving benchmarks can select between.
+#: Rooting / expander modes of
+#: :func:`repro.core.pipeline.build_well_formed_tree` that
+#: pipeline-driving benchmarks can select between.
+from repro.core.pipeline import EXPANDER_MODES as EXPANDER_CHOICES  # noqa: E402
 from repro.core.pipeline import ROOTING_MODES as ROOTING_CHOICES  # noqa: E402
+
+#: The benchmark-selectable dimensions: env var, fallback default, and
+#: the full choice tuple per kind.  One table instead of one copy-pasted
+#: resolver (CLI flag > env var > default, loud failure on typos) per
+#: bench script.
+_TIER_KINDS: dict[str, tuple[str, str, tuple[str, ...]]] = {
+    "engine": ("REPRO_ENGINE", "vectorized", TIER_CHOICES),
+    "rooting": ("REPRO_ROOTING", "reference", ROOTING_CHOICES),
+    "expander": ("REPRO_EXPANDER", "walks", EXPANDER_CHOICES),
+}
+
+
+def select_tier(
+    kind: str = "engine",
+    cli_value: str | None = None,
+    default: str | None = None,
+    choices: tuple[str, ...] | None = None,
+) -> str:
+    """Resolve one benchmark-selectable dimension of the execution stack.
+
+    ``kind`` is ``"engine"`` (delivery engine / execution tier,
+    ``REPRO_ENGINE``), ``"rooting"`` (pipeline rooting mode,
+    ``REPRO_ROOTING``), or ``"expander"`` (pipeline expander mode,
+    ``REPRO_EXPANDER``).  Precedence: explicit CLI value > the kind's
+    environment variable > ``default`` (the kind's conventional default
+    when omitted).  Raises on unknown kinds and names so typos fail
+    loudly instead of silently benchmarking the wrong stack; pass
+    ``choices`` to restrict (e.g. ``ENGINE_CHOICES`` for engine-only
+    benches).
+    """
+    if kind not in _TIER_KINDS:
+        raise ValueError(f"kind must be one of {tuple(_TIER_KINDS)}, got {kind!r}")
+    env_var, kind_default, kind_choices = _TIER_KINDS[kind]
+    value = cli_value or os.environ.get(env_var) or default or kind_default
+    if choices is None:
+        choices = kind_choices
+    if value not in choices:
+        raise ValueError(f"{kind} must be one of {choices}, got {value!r}")
+    return value
+
+
+def tier_filter(
+    kind: str = "engine",
+    cli_value: str | None = None,
+    choices: tuple[str, ...] | None = None,
+) -> str | None:
+    """Like :func:`select_tier`, but ``None`` when the user chose nothing.
+
+    The standard bench pattern "time every stack unless the user
+    restricted the run (CLI flag or env var)" — previously copy-pasted
+    into each ``main()``.
+    """
+    if kind not in _TIER_KINDS:
+        raise ValueError(f"kind must be one of {tuple(_TIER_KINDS)}, got {kind!r}")
+    env_var = _TIER_KINDS[kind][0]
+    if cli_value or os.environ.get(env_var):
+        return select_tier(kind, cli_value, choices=choices)
+    return None
 
 
 def select_engine(
@@ -51,31 +114,13 @@ def select_engine(
     default: str = "vectorized",
     choices: tuple[str, ...] = ENGINE_CHOICES,
 ) -> str:
-    """Resolve the network delivery engine (or execution tier) for a run.
-
-    Precedence: explicit CLI value > ``REPRO_ENGINE`` environment variable
-    > ``default``.  Raises on unknown names so typos fail loudly instead
-    of silently benchmarking the wrong engine.  Benchmarks whose stacks
-    include the SoA tier pass ``choices=TIER_CHOICES``.
-    """
-    value = cli_value or os.environ.get("REPRO_ENGINE") or default
-    if value not in choices:
-        raise ValueError(f"engine must be one of {choices}, got {value!r}")
-    return value
+    """Back-compat wrapper: ``select_tier("engine", ...)``."""
+    return select_tier("engine", cli_value, default=default, choices=choices)
 
 
 def select_rooting(cli_value: str | None = None, default: str = "reference") -> str:
-    """Resolve the pipeline rooting mode for a benchmark run.
-
-    Precedence: explicit CLI value > ``REPRO_ROOTING`` environment
-    variable > ``default`` — the rooting-mode analogue of
-    :func:`select_engine`, used by the monitoring/churn benchmarks to
-    drive their overlay constructions on any execution tier.
-    """
-    value = cli_value or os.environ.get("REPRO_ROOTING") or default
-    if value not in ROOTING_CHOICES:
-        raise ValueError(f"rooting must be one of {ROOTING_CHOICES}, got {value!r}")
-    return value
+    """Back-compat wrapper: ``select_tier("rooting", ...)``."""
+    return select_tier("rooting", cli_value, default=default)
 
 
 def add_engine_argument(parser, choices: tuple[str, ...] = ENGINE_CHOICES) -> None:

@@ -30,11 +30,27 @@ from repro.graphs.analysis import adjacency_sets, connected_components
 __all__ = [
     "ChurnReport",
     "SurvivorRebuild",
+    "fail_mask",
     "fail_nodes",
     "churn_report",
     "survival_curve",
     "rebuild_survivor_overlay",
 ]
+
+
+def fail_mask(n: int, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Alive-mask of ``n`` nodes failing independently with probability ``p``.
+
+    The single node-failure draw shared by graph-level churn
+    (:func:`fail_nodes`) and the message-level crash waves of the
+    adversarial scenario engine
+    (:class:`repro.scenarios.spec.CrashWave`) — one ``rng.random(n)``
+    comparison, so the two layers agree on what "fail independently with
+    probability p" consumes from a stream.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    return rng.random(n) > p
 
 
 @dataclass
@@ -65,11 +81,9 @@ def fail_nodes(
     Returns ``(surviving_adjacency, alive_mask)``; dead nodes keep empty
     adjacency entries (original labels preserved).
     """
-    if not 0.0 <= p <= 1.0:
-        raise ValueError("p must be in [0, 1]")
     adj = adjacency_sets(graph)
     n = len(adj)
-    alive = rng.random(n) > p
+    alive = fail_mask(n, p, rng)
     surviving = [
         {u for u in neigh if alive[u]} if alive[v] else set()
         for v, neigh in enumerate(adj)

@@ -29,10 +29,14 @@ Two contracts are enforced here (both regression-tested in
   out via ``require_quiescence=False`` get ``report.converged == False``
   instead of a silently truncated run.
 
-Both node representations run here: pass :class:`BatchProtocolNode`
-instances and ``engine="vectorized"`` (the default) and the delayed
-workload moves through the flat-buffer delivery path — churn/delay
-experiments are no longer limited to object nodes.
+All three node representations run here: object and batch nodes through
+the per-node loop below, and :class:`~repro.net.soa.SoAProtocolClass`
+populations through the columnar synchroniser of
+:mod:`repro.scenarios.soa_sync` (a flat delay queue over the staged
+inbox columns — one Python call per round regardless of ``n``), to which
+this function transparently dispatches.  An optional ``fault_hook``
+installs an oblivious message adversary (drops, crash isolation,
+partitions — see :mod:`repro.scenarios.spec`) in the delivery tail.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.network import CapacityPolicy, ProtocolNode, SyncNetwork
+from repro.net.soa import SoAProtocolClass
 
 __all__ = ["AsyncReport", "run_with_asynchrony"]
 
@@ -65,27 +70,34 @@ class AsyncReport:
 
 
 def run_with_asynchrony(
-    nodes: dict[int, ProtocolNode],
+    nodes: dict[int, ProtocolNode] | SoAProtocolClass,
     capacity: CapacityPolicy,
     rng: np.random.Generator,
     max_delay: int,
     max_rounds: int,
     engine: str = "vectorized",
     require_quiescence: bool = True,
+    fault_hook=None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Run a protocol under random message delays with a synchroniser.
 
-    Messages drawn in round ``i`` receive i.i.d. delays uniform on
-    ``[1, max_delay]``; the synchroniser releases round ``i + 1`` once
-    every round-``i`` message has arrived, i.e. after ``max_delay`` time
-    units per round.  Because nodes act only on barrier boundaries, the
-    execution is semantically the synchronous one — the function runs the
-    protocol on the standard :class:`SyncNetwork` while accounting the
-    asynchronous clock, and reports the dilation.
+    Every message *delivered* for round ``i + 1`` receives an i.i.d.
+    delay uniform on ``[1, max_delay]``; the synchroniser releases round
+    ``i + 1`` once every round-``i`` message has arrived, i.e. after
+    ``max_delay`` time units per round.  Because nodes act only on
+    barrier boundaries, the execution is semantically the synchronous one
+    — the function runs the protocol on the standard :class:`SyncNetwork`
+    while accounting the asynchronous clock, and reports the dilation.
 
     ``engine`` selects the delivery engine; batch nodes on the default
     ``"vectorized"`` engine never materialise per-message objects, so
-    delayed large-``n`` workloads run at batched speed.
+    delayed large-``n`` workloads run at batched speed.  Passing a
+    :class:`~repro.net.soa.SoAProtocolClass` as ``nodes`` dispatches to
+    the columnar SoA synchroniser (:mod:`repro.scenarios.soa_sync`),
+    whose flat delay queue materialises per-message release times without
+    any per-node Python work — bit-for-bit the same execution, at SoA
+    speed.  ``fault_hook`` installs an oblivious message adversary on the
+    network (see :class:`SyncNetwork`).
 
     Returns the timing report and the (already run) network, whose nodes
     hold the protocol's results.
@@ -104,23 +116,37 @@ def run_with_asynchrony(
     # ``rng`` itself would interleave with capacity-truncation draws and
     # diverge the execution from the synchronous one under the same seed.
     delay_rng = rng.spawn(1)[0]
-    network = SyncNetwork(nodes, capacity, rng, engine=engine)
+    if isinstance(nodes, SoAProtocolClass):
+        # Import kept lazy: scenarios is a higher layer built on this one.
+        from repro.scenarios.soa_sync import run_soa_synchroniser
+
+        return run_soa_synchroniser(
+            nodes,
+            capacity,
+            rng,
+            delay_rng,
+            max_delay,
+            max_rounds,
+            engine=engine,
+            require_quiescence=require_quiescence,
+            fault_hook=fault_hook,
+        )
+    network = SyncNetwork(nodes, capacity, rng, engine=engine, fault_hook=fault_hook)
     observed = 0
     rounds = 0
-    previous_total = 0
     converged = False
     for _ in range(max_rounds):
         network.run_round()
         rounds += 1
-        # Sample the delays this round's messages would have had; the
+        # Sample the delays of this round's delivered messages; the
         # barrier waits out max_delay regardless (the footnote's cost).
-        sent_this_round = network.metrics.total_messages - previous_total
-        previous_total = network.metrics.total_messages
-        if sent_this_round:
-            delays = delay_rng.integers(1, max_delay + 1, size=min(sent_this_round, 4096))
+        # Drawing per *delivered* message keeps the stream aligned with
+        # the SoA synchroniser's release-time column under a shared seed.
+        delivered = network.pending_messages()
+        if delivered:
+            delays = delay_rng.integers(1, max_delay + 1, size=delivered)
             observed = max(observed, int(delays.max(initial=0)))
-        in_flight = network.pending_messages() > 0
-        if not in_flight and all(node.is_idle() for node in network.nodes.values()):
+        if not delivered and all(node.is_idle() for node in network.nodes.values()):
             converged = True
             break
     if not converged and require_quiescence:

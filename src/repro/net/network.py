@@ -57,6 +57,7 @@ from repro.net.vectorops import group_argsort, needs_truncation, segmented_keep_
 __all__ = [
     "CapacityPolicy",
     "NetworkMetrics",
+    "NodeCounts",
     "ProtocolNode",
     "BatchProtocolNode",
     "SoAProtocolClass",
@@ -95,6 +96,101 @@ class CapacityPolicy:
         return cls(max_send=None, max_receive=None)
 
 
+class NodeCounts:
+    """Per-node message counters with lazy columnar accumulation.
+
+    Behaves like the ``defaultdict(int)`` it replaces (missing keys read
+    as 0 without inserting), but can additionally absorb whole per-node
+    count *columns* in O(1) Python work (:meth:`add_column`) — the
+    vectorized engines hand over their int64 accumulators instead of
+    looping ``n`` dict writes.  The column is folded into the dict view
+    only when some consumer actually reads per-node values, so runs that
+    only look at scalar aggregates (every scaling bench) never pay the
+    flush at all.
+    """
+
+    __slots__ = ("_dict", "_ids", "_counts")
+
+    def __init__(self) -> None:
+        self._dict: dict[int, int] = {}
+        self._ids: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    # -- columnar side -------------------------------------------------
+    def add_column(self, ids: np.ndarray, counts: np.ndarray) -> None:
+        """Accumulate a per-node count column (``counts`` aligned to
+        ``ids``).  Repeated calls with the *same* ``ids`` object — the
+        steady state of one network handing over its accumulators — are a
+        single vectorized add."""
+        if self._counts is None:
+            self._ids = ids
+            self._counts = counts.copy()
+        elif self._ids is ids:
+            self._counts += counts
+        else:  # pragma: no cover - networks never swap id arrays mid-run
+            self._flush()
+            self._ids = ids
+            self._counts = counts.copy()
+
+    def _flush(self) -> None:
+        if self._counts is None:
+            return
+        ids, counts = self._ids, self._counts
+        self._ids = self._counts = None
+        d = self._dict
+        nz = np.flatnonzero(counts)
+        for k, v in zip(ids[nz].tolist(), counts[nz].tolist()):
+            d[k] = d.get(k, 0) + v
+
+    # -- mapping side (defaultdict(int)-compatible) --------------------
+    def __getitem__(self, key: int) -> int:
+        self._flush()
+        return self._dict.get(key, 0)
+
+    def __setitem__(self, key: int, value: int) -> None:
+        self._flush()
+        self._dict[key] = value
+
+    def get(self, key: int, default: int = 0) -> int:
+        self._flush()
+        return self._dict.get(key, default)
+
+    def __contains__(self, key) -> bool:
+        self._flush()
+        return key in self._dict
+
+    def __iter__(self):
+        self._flush()
+        return iter(self._dict)
+
+    def __len__(self) -> int:
+        self._flush()
+        return len(self._dict)
+
+    def keys(self):
+        self._flush()
+        return self._dict.keys()
+
+    def values(self):
+        self._flush()
+        return self._dict.values()
+
+    def items(self):
+        self._flush()
+        return self._dict.items()
+
+    def __eq__(self, other) -> bool:
+        self._flush()
+        if isinstance(other, NodeCounts):
+            other._flush()
+            return self._dict == other._dict
+        return self._dict == other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        self._flush()
+        return f"NodeCounts({self._dict!r})"
+
+
 @dataclass
 class NetworkMetrics:
     """Aggregated communication statistics over a simulation.
@@ -104,18 +200,23 @@ class NetworkMetrics:
     predicate ended the run, and how many messages were still in flight at
     that moment (0 when the predicate happened to fire on the round the
     network went quiescent anyway).
+
+    ``fault_drops`` counts messages removed by an installed adversarial
+    fault hook (see :class:`SyncNetwork`); it is deliberately *not* part
+    of ``total_drops``, which keeps its §1.1 capacity-only meaning.
     """
 
     rounds: int = 0
     total_messages: int = 0
     send_drops: int = 0
     receive_drops: int = 0
+    fault_drops: int = 0
     max_sent_per_round: int = 0
     max_received_per_round: int = 0
     stopped_by_predicate: bool = False
     in_flight_at_stop: int = 0
-    sent_per_node: defaultdict[int, int] = field(default_factory=lambda: defaultdict(int))
-    received_per_node: defaultdict[int, int] = field(default_factory=lambda: defaultdict(int))
+    sent_per_node: NodeCounts = field(default_factory=NodeCounts)
+    received_per_node: NodeCounts = field(default_factory=NodeCounts)
 
     @property
     def total_drops(self) -> int:
@@ -137,6 +238,7 @@ class NetworkMetrics:
             "total_messages": self.total_messages,
             "send_drops": self.send_drops,
             "receive_drops": self.receive_drops,
+            "fault_drops": self.fault_drops,
             "max_sent_per_round": self.max_sent_per_round,
             "max_received_per_round": self.max_received_per_round,
             "stopped_by_predicate": self.stopped_by_predicate,
@@ -193,7 +295,18 @@ class BatchProtocolNode(ProtocolNode):
 
 
 class SyncNetwork:
-    """Round-driven simulator with capacity enforcement and metrics."""
+    """Round-driven simulator with capacity enforcement and metrics.
+
+    ``fault_hook`` installs an oblivious message adversary in the delivery
+    tail: a callable ``hook(round_no, senders, receivers) -> keep`` over
+    the round's *remote* traffic in canonical order (real node ids,
+    parallel columns), returning a boolean keep-mask or ``None`` for "no
+    faults this round".  The hook runs after the local split (self-addressed
+    messages bypass the network and are immune) and before send-capacity
+    truncation, and must not consume the delivery RNG — which is what
+    keeps a faulted execution identical across engines and node tiers
+    under a shared seed (see :mod:`repro.scenarios.spec`).
+    """
 
     def __init__(
         self,
@@ -201,12 +314,14 @@ class SyncNetwork:
         capacity: CapacityPolicy,
         rng: np.random.Generator,
         engine: str = "vectorized",
+        fault_hook: Callable[[int, np.ndarray, np.ndarray], np.ndarray | None] | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.capacity = capacity
         self.rng = rng
         self.engine = engine
+        self.fault_hook = fault_hook
         self.round_no = 0
         self._metrics = NetworkMetrics()
         if isinstance(nodes, SoAProtocolClass):
@@ -263,13 +378,12 @@ class SyncNetwork:
     # ------------------------------------------------------------------
     @property
     def metrics(self) -> NetworkMetrics:
-        """The run's metrics; flushes vectorized per-node counters into the
-        ``sent_per_node`` / ``received_per_node`` dict views."""
+        """The run's metrics; hands the vectorized per-node counters to
+        the lazy ``sent_per_node`` / ``received_per_node`` column views
+        (no per-node Python work — the dicts materialise only if read)."""
         if self._counts_dirty:
-            for i in np.flatnonzero(self._sent_counts):
-                self._metrics.sent_per_node[int(self._ids[i])] += int(self._sent_counts[i])
-            for i in np.flatnonzero(self._recv_counts):
-                self._metrics.received_per_node[int(self._ids[i])] += int(self._recv_counts[i])
+            self._metrics.sent_per_node.add_column(self._ids, self._sent_counts)
+            self._metrics.received_per_node.add_column(self._ids, self._recv_counts)
             self._sent_counts[:] = 0
             self._recv_counts[:] = 0
             self._counts_dirty = False
@@ -278,6 +392,32 @@ class SyncNetwork:
     def pending_messages(self) -> int:
         """Messages in flight (delivered next round), local ones included."""
         return self._pending_count
+
+    # ------------------------------------------------------------------
+    # SoA inbox staging (synchroniser interposition point).
+    # ------------------------------------------------------------------
+    def take_staged_soa_inbox(self) -> SoAInbox:
+        """Remove and return the staged next-round :class:`SoAInbox`.
+
+        The interposition point for delay synchronisers
+        (:mod:`repro.scenarios.soa_sync`): the columns a round's delivery
+        staged can be pulled out, held in a delay queue, and re-staged via
+        :meth:`stage_soa_inbox` before the next :meth:`run_round`.  SoA
+        networks only.
+        """
+        if self._soa is None:
+            raise ValueError("inbox staging is only available on SoA networks")
+        inbox = self._soa_inbox
+        self._soa_inbox = SoAInbox.empty()
+        self._pending_count = 0
+        return inbox
+
+    def stage_soa_inbox(self, inbox: SoAInbox) -> None:
+        """Install ``inbox`` as the next round's delivery (SoA networks)."""
+        if self._soa is None:
+            raise ValueError("inbox staging is only available on SoA networks")
+        self._soa_inbox = inbox
+        self._pending_count = len(inbox)
 
     # ------------------------------------------------------------------
     def run_round(self) -> None:
@@ -358,6 +498,22 @@ class SyncNetwork:
                 else:
                     flat.append(msg)
                     flat_senders.append(index[nid])
+
+        # Phase 1.5 — adversarial faults (same hook point as the
+        # vectorized tail: remote traffic in canonical order, before any
+        # capacity truncation, no delivery-RNG consumption).
+        if self.fault_hook is not None and flat:
+            snd_ids = ids[np.asarray(flat_senders, dtype=np.int64)]
+            rcv_ids = np.fromiter(
+                (m.receiver for m in flat), dtype=np.int64, count=len(flat)
+            )
+            keep = self.fault_hook(self.round_no, snd_ids, rcv_ids)
+            if keep is not None:
+                kept = np.flatnonzero(keep)
+                if kept.size != len(flat):
+                    metrics.fault_drops += len(flat) - kept.size
+                    flat = [flat[i] for i in kept.tolist()]
+                    flat_senders = [flat_senders[i] for i in kept.tolist()]
 
         # Phase 2 — send-capacity truncation (shared RNG discipline: one
         # permutation, drawn only when some sender is over budget).
@@ -750,6 +906,20 @@ class SyncNetwork:
             if pay2_has_all is not None:
                 pay2_has_all = pay2_has_all[keep]
             m_total = rcv_all.shape[0]
+
+        # ---- adversarial faults ---------------------------------------
+        # Oblivious drops (crash isolation, partitions, link loss) act on
+        # the surviving remote columns in canonical order — the identical
+        # hook point as the legacy engine, before capacity truncation, so
+        # every tier sees the same fault stream under a shared seed.
+        if self.fault_hook is not None and m_total:
+            snd_ids = snd_all if contiguous else ids[snd_all]
+            keep_mask = self.fault_hook(self.round_no, snd_ids, rcv_all)
+            if keep_mask is not None:
+                kept = np.flatnonzero(keep_mask)
+                if kept.size != m_total:
+                    metrics.fault_drops += m_total - kept.size
+                    select(kept)
 
         # ---- send capacity --------------------------------------------
         if cap.max_send is not None and m_total:

@@ -92,6 +92,75 @@ class SoAInbox:
         )
 
     # ------------------------------------------------------------------
+    def take(self, sel: np.ndarray) -> "SoAInbox":
+        """Inbox restricted to rows ``sel``, in ``sel``'s sequence.
+
+        ``sel`` is an integer index array (a selection or a permutation);
+        scalar kinds and an absent secondary lane are preserved.  The
+        column gather behind the delay-queue synchroniser's release path
+        (:mod:`repro.scenarios.soa_sync`).
+        """
+        if sel.shape[0] == 0:
+            return _EMPTY_INBOX
+        kinds = self.kinds
+        return SoAInbox(
+            self.senders[sel],
+            self.receivers[sel],
+            kinds[sel] if type(kinds) is np.ndarray else kinds,
+            self.payloads[sel],
+            self.payloads2[sel] if self.payloads2 is not None else None,
+        )
+
+    @classmethod
+    def concat(cls, inboxes: list["SoAInbox"]) -> "SoAInbox":
+        """Concatenate inboxes column-wise (no re-sorting).
+
+        Uniform scalar kinds stay scalar; mixed kinds materialise a
+        column.  Lane-less traffic zero-fills ``payloads2`` when some
+        input carries it — the :class:`~repro.net.batch.MessageBatch`
+        convention.  Callers own the receiver ordering of the result
+        (the delay queue re-sorts on release).
+        """
+        inboxes = [b for b in inboxes if len(b)]
+        if not inboxes:
+            return _EMPTY_INBOX
+        if len(inboxes) == 1:
+            return inboxes[0]
+        first_kinds = inboxes[0].kinds
+        if all(
+            type(b.kinds) is not np.ndarray and b.kinds == first_kinds
+            for b in inboxes
+        ):
+            kinds: int | np.ndarray = first_kinds
+        else:
+            kinds = np.concatenate(
+                [
+                    b.kinds
+                    if type(b.kinds) is np.ndarray
+                    else np.full(len(b), int(b.kinds), dtype=np.int64)
+                    for b in inboxes
+                ]
+            )
+        if any(b.payloads2 is not None for b in inboxes):
+            payloads2 = np.concatenate(
+                [
+                    b.payloads2
+                    if b.payloads2 is not None
+                    else np.zeros(len(b), dtype=np.int64)
+                    for b in inboxes
+                ]
+            )
+        else:
+            payloads2 = None
+        return cls(
+            np.concatenate([b.senders for b in inboxes]),
+            np.concatenate([b.receivers for b in inboxes]),
+            kinds,
+            np.concatenate([b.payloads for b in inboxes]),
+            payloads2,
+        )
+
+    # ------------------------------------------------------------------
     def segments(self) -> tuple[np.ndarray, np.ndarray]:
         """``(starts, nodes)``: offsets of each receiver group in the
         sorted columns and the node index owning each group."""

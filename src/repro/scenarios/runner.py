@@ -1,0 +1,261 @@
+"""ScenarioRunner: named adversarial grids over the rooting workload.
+
+The runner executes a :class:`~repro.scenarios.spec.ScenarioSpec` grid
+(delay × drop × churn × partition) against the message-level rooting
+protocol on any execution tier and emits machine-readable JSON rows —
+the measurement surface of the scenario engine
+(``benchmarks/bench_s4_scenario_scaling.py`` consumes it, CI uploads it
+as an artifact).
+
+Every cell runs under the footnote-2 synchroniser
+(:func:`repro.net.asynchrony.run_with_asynchrony`; ``max_delay = 1``
+degenerates to the synchronous schedule) with the spec's compiled
+:class:`~repro.scenarios.spec.FaultInjector` installed in the delivery
+tail and ``require_quiescence=False`` — an adversary is *allowed* to
+starve the protocol, and the row records whether it did (``converged``,
+``spanned``, ``assigned_fraction``) rather than raising.
+
+Because fault streams are functions of ``(spec, fault_seed, round)``
+alone and every tier presents identical canonical message columns, the
+same ``(spec, n, seed)`` cell produces the **identical row** on the
+object, batch, and SoA tiers (modulo ``tier``/``wall_seconds`` — see
+:func:`tier_invariant_view`); ``tests/scenarios/test_runner.py`` pins
+this differentially.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import rooting_flood_rounds
+from repro.core.protocol_tree import ROOTING_TIERS, build_rooting_population
+from repro.graphs.portgraph import PortGraph
+from repro.net.asynchrony import run_with_asynchrony
+from repro.net.network import CapacityPolicy
+from repro.scenarios.spec import (
+    CrashWave,
+    LinkDelay,
+    MessageDrop,
+    Partition,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "SCENARIO_GRIDS",
+    "ScenarioRunner",
+    "delay_drop_churn_grid",
+    "run_rooting_scenario",
+    "tier_invariant_view",
+]
+
+
+def run_rooting_scenario(
+    graph: PortGraph,
+    spec: ScenarioSpec,
+    seed: int,
+    tier: str = "soa",
+    capacity: CapacityPolicy | None = None,
+    max_rounds: int | None = None,
+) -> dict:
+    """Run one scenario cell: rooting on ``graph`` under ``spec``.
+
+    Returns a flat JSON-able row.  The delivery RNG is seeded with
+    ``seed``; the adversary draws only from the spec's own fault streams,
+    so matched ``(spec, seed)`` cells see identical executions across
+    tiers.
+    """
+    n = graph.n
+    fr = rooting_flood_rounds(n)
+    if capacity is None:
+        capacity = CapacityPolicy.ncc0(n, graph.delta)
+    if max_rounds is None:
+        max_rounds = 5 * fr + 8  # the rooting runners' default budget
+    population = build_rooting_population(graph, fr, tier)
+    injector = spec.compile(n)
+    start = time.perf_counter()
+    report, network = run_with_asynchrony(
+        population,
+        capacity,
+        np.random.default_rng(seed),
+        max_delay=spec.max_delay,
+        max_rounds=max_rounds,
+        require_quiescence=False,
+        fault_hook=injector,
+    )
+    wall = time.perf_counter() - start
+    if tier == "soa":
+        parent, depth = population.parent, population.depth
+    else:
+        parent = np.fromiter(
+            (population[v].parent for v in range(n)), dtype=np.int64, count=n
+        )
+        depth = np.fromiter(
+            (population[v].depth for v in range(n)), dtype=np.int64, count=n
+        )
+    roots = np.flatnonzero(parent == np.arange(n, dtype=np.int64))
+    metrics = network.metrics
+    return {
+        "scenario": spec.describe(),
+        "n": n,
+        "tier": tier,
+        "seed": seed,
+        "converged": report.converged,
+        "rounds": report.logical_rounds,
+        "elapsed_time_units": report.elapsed_time_units,
+        "observed_max_delay": report.observed_max_delay,
+        "spanned": bool((parent >= 0).all()) and roots.shape[0] == 1,
+        "num_roots": int(roots.shape[0]),
+        "root": int(roots[0]) if roots.shape[0] == 1 else -1,
+        "assigned_fraction": float((parent >= 0).mean()),
+        "tree_sha": hashlib.sha1(parent.tobytes() + depth.tobytes()).hexdigest()[:16],
+        "total_messages": metrics.total_messages,
+        "send_drops": metrics.send_drops,
+        "receive_drops": metrics.receive_drops,
+        "fault_drops": metrics.fault_drops,
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def tier_invariant_view(row: dict) -> dict:
+    """The row minus its tier label and wall clock — the part that must
+    be identical across execution tiers for matched cells."""
+    return {k: v for k, v in row.items() if k not in ("tier", "wall_seconds")}
+
+
+# ----------------------------------------------------------------------
+# Named grids
+# ----------------------------------------------------------------------
+def delay_drop_churn_grid(
+    name: str = "delay_drop_churn",
+    delays: tuple[int, ...] = (1, 4),
+    drops: tuple[float, ...] = (0.0, 0.02),
+    crash_fractions: tuple[float, ...] = (0.0, 0.1),
+    crash_round: int = 2,
+    rejoin_round: int | None = None,
+    fault_seed: int = 0,
+) -> tuple[ScenarioSpec, ...]:
+    """The canonical delay × drop × churn cross as a spec tuple."""
+    specs = []
+    for d in delays:
+        for p in drops:
+            for c in crash_fractions:
+                specs.append(
+                    ScenarioSpec(
+                        name=f"{name}/d{d}-p{p:g}-c{c:g}",
+                        delay=LinkDelay(d) if d > 1 else None,
+                        drop=MessageDrop(p) if p > 0 else None,
+                        crashes=(
+                            (CrashWave(crash_round, c, rejoin_round),) if c > 0 else ()
+                        ),
+                        fault_seed=fault_seed,
+                    )
+                )
+    return tuple(specs)
+
+
+#: Named scenario grids the runner (and the S4 bench CLI) resolve.
+SCENARIO_GRIDS: dict[str, tuple[ScenarioSpec, ...]] = {
+    # One representative of each adversary plus a composite — the quick
+    # differential surface (CI smoke runs this on all three tiers).
+    "smoke": (
+        ScenarioSpec(name="smoke/baseline"),
+        ScenarioSpec(name="smoke/delay4", delay=LinkDelay(4)),
+        ScenarioSpec(name="smoke/drop5", drop=MessageDrop(0.05)),
+        ScenarioSpec(
+            name="smoke/churn10-rejoin",
+            crashes=(CrashWave(round_no=2, fraction=0.1, rejoin_round=6),),
+        ),
+        ScenarioSpec(
+            name="smoke/partition-heal",
+            partition=Partition(start=1, stop=4, blocks=2),
+        ),
+        ScenarioSpec(
+            name="smoke/composite",
+            delay=LinkDelay(3),
+            drop=MessageDrop(0.02),
+            crashes=(CrashWave(round_no=3, fraction=0.05),),
+        ),
+    ),
+    "delay_drop_churn": delay_drop_churn_grid(),
+    "partition": (
+        ScenarioSpec(
+            name="partition/flood-split",
+            partition=Partition(start=0, stop=6, blocks=2),
+        ),
+        ScenarioSpec(
+            name="partition/late-split",
+            partition=Partition(start=8, stop=14, blocks=3),
+        ),
+    ),
+}
+
+
+@dataclass
+class ScenarioRunner:
+    """Execute scenario grids over sizes × tiers × seeds.
+
+    The workload family is the ring-plus-chords stand-in for evolution
+    output shared with the S2/S3 benches (low diameter, degree ≤ 6), so
+    scenario results stay comparable with the synchronous scaling story.
+    """
+
+    sizes: tuple[int, ...] = (512,)
+    seeds: tuple[int, ...] = (0, 1, 2)
+    tiers: tuple[str, ...] = ("batch", "soa")
+    delta: int = 16
+    chords: int = 2
+
+    def __post_init__(self) -> None:
+        for tier in self.tiers:
+            if tier not in ROOTING_TIERS:
+                raise ValueError(
+                    f"tier must be one of {ROOTING_TIERS}, got {tier!r}"
+                )
+        self._graphs: dict[int, PortGraph] = {}
+
+    def graph_for(self, n: int) -> PortGraph:
+        if n not in self._graphs:
+            self._graphs[n] = PortGraph.ring_with_chords(
+                n, delta=self.delta, chords=self.chords, seed=n
+            )
+        return self._graphs[n]
+
+    # ------------------------------------------------------------------
+    def run_spec(self, spec: ScenarioSpec) -> list[dict]:
+        """All (size, tier, seed) cells of one spec."""
+        return [
+            run_rooting_scenario(self.graph_for(n), spec, seed, tier=tier)
+            for n in self.sizes
+            for tier in self.tiers
+            for seed in self.seeds
+        ]
+
+    def run_grid(self, grid: str | tuple[ScenarioSpec, ...]) -> dict:
+        """Execute a named (or explicit) grid; returns the JSON payload."""
+        if isinstance(grid, str):
+            if grid not in SCENARIO_GRIDS:
+                raise ValueError(
+                    f"unknown grid {grid!r}; known: {sorted(SCENARIO_GRIDS)}"
+                )
+            name, specs = grid, SCENARIO_GRIDS[grid]
+        else:
+            name, specs = "custom", tuple(grid)
+        rows = [row for spec in specs for row in self.run_spec(spec)]
+        return {
+            "grid": name,
+            "sizes": list(self.sizes),
+            "tiers": list(self.tiers),
+            "seeds": list(self.seeds),
+            "rows": rows,
+        }
+
+    @staticmethod
+    def write_json(payload: dict, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

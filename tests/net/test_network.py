@@ -171,3 +171,69 @@ class TestEarlyStopBookkeeping:
         assert net.pending_messages() == 4
         net.run_round()
         assert net.pending_messages() == 0
+
+
+class TestNodeCounts:
+    """Lazy columnar per-node counters behind ``NetworkMetrics``."""
+
+    def test_defaultdict_compatible(self):
+        from repro.net.network import NodeCounts
+
+        counts = NodeCounts()
+        assert counts[5] == 0  # missing reads as 0 ...
+        assert 5 not in counts  # ... without inserting
+        counts[3] += 2
+        counts[3] += 1
+        assert counts[3] == 3
+        assert dict(counts) == {3: 3}
+
+    def test_column_absorption_is_lazy_and_correct(self):
+        from repro.net.network import NodeCounts
+
+        counts = NodeCounts()
+        ids = np.array([10, 20, 30], dtype=np.int64)
+        counts.add_column(ids, np.array([1, 0, 2], dtype=np.int64))
+        counts.add_column(ids, np.array([4, 0, 0], dtype=np.int64))
+        # Zero entries never materialise; repeated columns accumulate.
+        assert dict(counts) == {10: 5, 30: 2}
+        assert len(counts) == 2
+        assert sorted(counts.items()) == [(10, 5), (30, 2)]
+        assert max(counts.values()) == 5
+
+    def test_columns_and_dict_writes_combine(self):
+        from repro.net.network import NodeCounts
+
+        counts = NodeCounts()
+        counts[10] += 7
+        counts.add_column(
+            np.array([10, 11], dtype=np.int64), np.array([1, 1], dtype=np.int64)
+        )
+        assert counts[10] == 8
+        assert counts[11] == 1
+
+    def test_equality_flushes_both_sides(self):
+        from repro.net.network import NodeCounts
+
+        a = NodeCounts()
+        a.add_column(np.array([1], dtype=np.int64), np.array([3], dtype=np.int64))
+        b = NodeCounts()
+        b[1] = 3
+        assert a == b
+        assert a == {1: 3}
+
+    def test_network_metrics_stay_correct_and_lazy(self):
+        # The vectorized engine's per-node dicts materialise only on
+        # read; scalar aggregates never force the flush.
+        nodes = {0: EchoNode(0, target=1, payloads=4), 1: EchoNode(1)}
+        net = build_network(nodes)
+        net.run_round()
+        metrics = net.metrics
+        assert metrics.sent_per_node._counts is not None  # still columnar
+        assert metrics.total_messages == 4
+        assert metrics.max_total_sent_by_any_node() == 4  # forces the flush
+        assert metrics.sent_per_node._counts is None
+        assert dict(metrics.sent_per_node) == {0: 4}
+        # Receive accounting happens at delivery time (same round).
+        assert dict(metrics.received_per_node) == {1: 4}
+        net.run_round()
+        assert net.metrics.received_per_node[1] == 4

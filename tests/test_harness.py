@@ -1,9 +1,79 @@
-"""Experiment harness tests (tables and scaling fits)."""
+"""Experiment harness tests (tables, scaling fits, tier selection)."""
 
 import numpy as np
 import pytest
 
-from repro.experiments.harness import Table, fit_vs_logn, geometric_sizes, loglog_slope
+from repro.experiments.harness import (
+    ENGINE_CHOICES,
+    EXPANDER_CHOICES,
+    ROOTING_CHOICES,
+    TIER_CHOICES,
+    Table,
+    fit_vs_logn,
+    geometric_sizes,
+    loglog_slope,
+    select_engine,
+    select_rooting,
+    select_tier,
+    tier_filter,
+)
+
+
+class TestSelectTier:
+    """One resolver for every benchmark-selectable stack dimension."""
+
+    def test_kind_defaults(self, monkeypatch):
+        for var in ("REPRO_ENGINE", "REPRO_ROOTING", "REPRO_EXPANDER"):
+            monkeypatch.delenv(var, raising=False)
+        assert select_tier("engine") == "vectorized"
+        assert select_tier("rooting") == "reference"
+        assert select_tier("expander") == "walks"
+
+    def test_cli_beats_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROOTING", "batch")
+        assert select_tier("rooting") == "batch"
+        assert select_tier("rooting", "soa") == "soa"
+        assert select_tier("rooting", default="protocol") == "batch"
+
+    def test_env_vars_are_per_kind(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPANDER", "soa")
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert select_tier("expander") == "soa"
+        assert select_tier("engine") == "vectorized"
+
+    def test_typos_fail_loudly(self, monkeypatch):
+        with pytest.raises(ValueError, match="kind"):
+            select_tier("warp-drive")
+        with pytest.raises(ValueError, match="engine must be one of"):
+            select_tier("engine", "hyperdrive")
+        monkeypatch.setenv("REPRO_ROOTING", "nope")
+        with pytest.raises(ValueError, match="rooting must be one of"):
+            select_tier("rooting")
+
+    def test_choices_restriction(self):
+        with pytest.raises(ValueError):
+            select_tier("engine", "soa", choices=ENGINE_CHOICES)
+        assert select_tier("engine", "soa", choices=TIER_CHOICES) == "soa"
+
+    def test_filter_is_none_when_nothing_chosen(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert tier_filter("engine") is None
+        assert tier_filter("engine", "legacy") == "legacy"
+        monkeypatch.setenv("REPRO_ENGINE", "soa")
+        assert tier_filter("engine") == "soa"
+
+    def test_back_compat_wrappers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.delenv("REPRO_ROOTING", raising=False)
+        assert select_engine() == "vectorized"
+        assert select_rooting(default="batch") == "batch"
+        with pytest.raises(ValueError):
+            select_engine("soa")  # engine-only choices by default
+
+    def test_choice_tuples_cover_the_stack(self):
+        assert set(ENGINE_CHOICES) == {"legacy", "vectorized"}
+        assert "soa" in TIER_CHOICES
+        assert "soa" in ROOTING_CHOICES and "walks" in EXPANDER_CHOICES
 
 
 class TestTable:
