@@ -1,0 +1,286 @@
+"""S5 — columnar hybrid §4 pipeline scaling: the SoA spanner story.
+
+ISSUE 5's acceptance bar.  The §4 pipeline (Elkin–Neiman spanner → edge
+delegation → hybrid ``CreateExpander`` → flood/BFS/well-forming) used to
+run on per-node ``list[set]``/``dict`` structures, capping churn-rebuild
+loops at small ``n``.  The columnar port (`repro.hybrid.soa_pipeline`)
+runs the spanner broadcast as a real :class:`SoAProtocolClass` population
+through the shared ``_deliver_flat`` delivery tail and everything else as
+flat column transforms — bit-for-bit equal to the per-node path.
+
+Measured here, on a ring-plus-chords family dense enough that the
+broadcast dominates:
+
+- an exact **≥ 12-seed equivalence matrix** before anything is timed:
+  labels, forests, overlay port arrays, and token-congestion ledger
+  phases identical across tiers;
+- wall-clock of the **ported stages** (spanner, degree reduction,
+  flood + BFS tail) per tier — the hybrid evolutions in between run the
+  identical array builder on both tiers, so the ported stages are the
+  engine-controlled comparison — with a **hard assert**: SoA ≥ 10× at
+  ``n = 10⁴`` (≥ 5× in ``--smoke``, same shape as S3's smoke relief);
+- a scenario-driven churn-rebuild sweep through
+  :class:`~repro.scenarios.runner.ScenarioRunner`'s ``churn-rebuild``
+  workload, completing at ``n = 10⁵`` on the SoA tier (``n = 2·10⁴`` in
+  smoke) with ground-truth label verification per cell.
+
+Run standalone:
+``PYTHONPATH=src python benchmarks/bench_s5_hybrid_scaling.py``
+(``--smoke`` for the ~60 s CI variant; ``--hybrid`` restricts the timed
+tiers, also via ``REPRO_HYBRID``; ``--json PATH`` sets the result file).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.bfs import build_bfs_forest
+from repro.experiments.harness import HYBRID_CHOICES, Table, tier_filter
+from repro.graphs import generators as G
+from repro.graphs.portgraph import PortGraph
+from repro.hybrid.components import connected_components_hybrid
+from repro.hybrid.degree_reduction import reduce_degree
+from repro.hybrid.overlay import HybridOverlayParams, build_hybrid_overlay
+from repro.hybrid.soa_pipeline import (
+    build_bfs_forest_soa,
+    build_hybrid_overlay_soa,
+    build_spanner_soa,
+    reduce_degree_soa,
+)
+from repro.hybrid.spanner import build_spanner
+from repro.scenarios import CrashWave, ScenarioSpec
+from repro.scenarios.runner import ScenarioRunner
+
+FULL_SIZES = (2_000, 10_000, 30_000)
+SMOKE_SIZES = (2_000, 10_000)
+ASSERT_N = 10_000
+ASSERT_FACTOR = 10.0
+SMOKE_ASSERT_FACTOR = 5.0
+REBUILD_N_FULL = 100_000
+REBUILD_N_SMOKE = 20_000
+EQUIVALENCE_SEEDS = 12
+DELTA = 16
+NUM_CHORD_SETS = 4
+#: Calibrated light overlay (bit-for-bit identical across tiers like any
+#: other params): enough evolutions to keep ring-with-chords survivor
+#: components connected at n = 10⁵, cheap enough for a sweep.
+OVERLAY_PARAMS = HybridOverlayParams(delta=64, ell=16, num_evolutions=3)
+
+
+def hybrid_input_graph(n: int, seed: int) -> PortGraph:
+    """Ring plus four chord sets (degree ≈ 10): dense enough that the
+    spanner broadcast — the per-node hot spot — dominates the stages."""
+    return PortGraph.ring_with_chords(
+        n, delta=DELTA, chords=NUM_CHORD_SETS, seed=seed
+    )
+
+
+def check_equivalence(seeds: int = EQUIVALENCE_SEEDS) -> None:
+    """Columnar ≡ per-node over component mixtures (the ISSUE 5
+    acceptance equality: edge sets, degrees, ledger totals)."""
+    for seed in range(seeds):
+        rng = np.random.default_rng(seed)
+        mix, _ = G.component_mixture(
+            [
+                G.line_graph(20 + seed),
+                G.cycle_graph(17),
+                G.star_graph(24),
+                G.erdos_renyi_connected(30, 5.0, rng),
+            ]
+        )
+        per_node = connected_components_hybrid(
+            mix, rng=np.random.default_rng(seed), m_bound=64
+        )
+        columnar = connected_components_hybrid(
+            mix, rng=np.random.default_rng(seed), m_bound=64, tier="soa"
+        )
+        assert np.array_equal(per_node.labels, columnar.labels), f"labels (seed {seed})"
+        assert np.array_equal(
+            per_node.forest.parent, columnar.forest.parent
+        ), f"forest (seed {seed})"
+        assert np.array_equal(
+            per_node.overlay.final_graph.ports, columnar.overlay.final_graph.ports
+        ), f"overlay ports (seed {seed})"
+        assert np.array_equal(
+            per_node.overlay.final_graph.real_degree(),
+            columnar.overlay.final_graph.real_degree(),
+        ), f"overlay degrees (seed {seed})"
+        assert per_node.ledger.phases == columnar.ledger.phases, f"ledger (seed {seed})"
+    print(f"equivalence matrix: {seeds} seeds bit-for-bit across hybrid tiers")
+
+
+def run_stages(tier: str, graph: PortGraph, seed: int):
+    """One pipeline run with per-stage wall clock.
+
+    Returns ``(stage_seconds, shared_seconds, fingerprint)`` where
+    ``stage_seconds`` covers the *ported* stages (spanner, reduction,
+    flood + BFS) and ``shared_seconds`` the hybrid evolutions, which are
+    the identical array builder on both tiers.
+    """
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    if tier == "object":
+        spanner = build_spanner(graph, rng)
+        t1 = time.perf_counter()
+        reduced = reduce_degree(spanner)
+        t2 = time.perf_counter()
+        overlay = build_hybrid_overlay(reduced.adj, rng=rng, params=OVERLAY_PARAMS)
+        t3 = time.perf_counter()
+        bfs = build_bfs_forest(overlay.final_graph)
+    else:
+        spanner = build_spanner_soa(graph, rng)
+        t1 = time.perf_counter()
+        reduced = reduce_degree_soa(spanner)
+        t2 = time.perf_counter()
+        overlay = build_hybrid_overlay_soa(reduced, rng=rng, params=OVERLAY_PARAMS)
+        t3 = time.perf_counter()
+        bfs = build_bfs_forest_soa(overlay.final_graph)
+    t4 = time.perf_counter()
+    stage_seconds = (t1 - t0) + (t2 - t1) + (t4 - t3)
+    fingerprint = (
+        overlay.final_graph.ports.tobytes(),
+        bfs.parent.tobytes(),
+        tuple(overlay.ledger.phases),
+    )
+    return stage_seconds, t3 - t2, fingerprint
+
+
+def run_experiment(smoke: bool, hybrid_filter: str | None = None):
+    check_equivalence()
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    repeats = 1 if smoke else 2
+
+    table = Table(
+        "S5: hybrid §4 pipeline — ported stages (spanner + reduction + BFS tail)",
+        ["n", "tier", "stage_seconds", "shared_evolutions"],
+    )
+    rows = {}
+    for n in sizes:
+        graph = hybrid_input_graph(n, seed=n)
+        fingerprints = {}
+        for tier in HYBRID_CHOICES:
+            if hybrid_filter is not None and tier != hybrid_filter:
+                continue
+            best = None
+            for _ in range(repeats):
+                stage_s, shared_s, fp = run_stages(tier, graph, seed=1)
+                if best is None or stage_s < best[0]:
+                    best = (stage_s, shared_s, fp)
+            stage_s, shared_s, fp = best
+            rows[(n, tier)] = stage_s
+            fingerprints[tier] = fp
+            table.add(n, tier, round(stage_s, 3), round(shared_s, 3))
+        if len(fingerprints) == 2:
+            assert fingerprints["object"] == fingerprints["soa"], (
+                f"tiers diverged at n={n} — the timing is not engine-controlled"
+            )
+    table.show()
+
+    speedup = None
+    if hybrid_filter is None:
+        t_object = rows[(ASSERT_N, "object")]
+        t_soa = rows[(ASSERT_N, "soa")]
+        speedup = t_object / t_soa
+        factor = SMOKE_ASSERT_FACTOR if smoke else ASSERT_FACTOR
+        print(
+            f"n={ASSERT_N}: columnar hybrid stages (engine-controlled) "
+            f"speedup {speedup:.1f}x"
+        )
+        assert speedup >= factor, (
+            f"columnar hybrid stages only {speedup:.1f}x faster than per-node "
+            f"at n={ASSERT_N} (need >= {factor}x)"
+        )
+    return rows, speedup
+
+
+def run_churn_rebuild_sweep(smoke: bool) -> list[dict]:
+    """Scenario-driven churn-rebuild at scale on the SoA tier — the
+    regime the port exists for.  Completing with ground-truth-correct
+    labels IS the check."""
+    n = REBUILD_N_SMOKE if smoke else REBUILD_N_FULL
+    runner = ScenarioRunner(
+        sizes=(n,),
+        seeds=(0,),
+        tiers=("soa",),
+        workload="churn-rebuild",
+        overlay_params=OVERLAY_PARAMS,
+        chords=NUM_CHORD_SETS,
+    )
+    grid = (
+        ScenarioSpec(name="rebuild/baseline"),
+        ScenarioSpec(
+            name="rebuild/churn10",
+            crashes=(CrashWave(round_no=2, fraction=0.1),),
+            fault_seed=1,
+        ),
+    )
+    payload = runner.run_grid(grid)
+    for row in payload["rows"]:
+        assert row["labels_match_ground_truth"], (
+            f"rebuild labels diverge from ground truth: {row['scenario']['name']}"
+        )
+        print(
+            f"churn-rebuild n={row['n']}: {row['scenario']['name']} -> "
+            f"{row['survivors']} survivors, {row['components']} component(s), "
+            f"{row['wall_seconds']:.1f}s on tier {row['tier']}"
+        )
+    return payload["rows"]
+
+
+def bench_s5_hybrid_scaling(benchmark):
+    from _common import run_once
+
+    run_once(benchmark, lambda: run_experiment(smoke=False))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="~60s CI variant (5x hard assert, smaller rebuild sweep)",
+    )
+    parser.add_argument(
+        "--hybrid",
+        choices=HYBRID_CHOICES,
+        default=None,
+        help="restrict the timed tiers (default: REPRO_HYBRID env var or both)",
+    )
+    parser.add_argument(
+        "--json",
+        default="bench_s5_results.json",
+        help="path for the machine-readable results payload",
+    )
+    args = parser.parse_args(argv)
+    hybrid_filter = tier_filter("hybrid", args.hybrid)
+    rows, speedup = run_experiment(smoke=args.smoke, hybrid_filter=hybrid_filter)
+    rebuild_rows = []
+    if hybrid_filter in (None, "soa"):
+        rebuild_rows = run_churn_rebuild_sweep(smoke=args.smoke)
+    payload = {
+        "bench": "s5_hybrid_scaling",
+        "smoke": args.smoke,
+        "overlay_params": {
+            "delta": OVERLAY_PARAMS.delta,
+            "ell": OVERLAY_PARAMS.ell,
+            "num_evolutions": OVERLAY_PARAMS.num_evolutions,
+        },
+        "timing": [
+            {"n": n, "tier": tier, "stage_seconds": round(secs, 4)}
+            for (n, tier), secs in sorted(rows.items())
+        ],
+        "stage_speedup_at_assert_n": round(speedup, 2) if speedup else None,
+        "churn_rebuild": rebuild_rows,
+    }
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

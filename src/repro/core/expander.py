@@ -252,7 +252,7 @@ class ExpanderBuilder:
             tokens_accepted=int(accepted.shape[0]),
             tokens_dropped=walk.num_tokens - int(accepted.shape[0]),
             max_token_load=int(walk.max_load_per_round.max(initial=0)),
-            distinct_edges=len(new_graph.unique_edges()),
+            distinct_edges=new_graph.num_unique_edges(),
         )
         self.levels.append(new_graph)
         self.level_registries.append(registry)

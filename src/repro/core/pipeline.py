@@ -38,6 +38,7 @@ __all__ = [
     "rooting_flood_rounds",
     "ROOTING_MODES",
     "EXPANDER_MODES",
+    "HYBRID_MODES",
 ]
 
 
@@ -70,6 +71,17 @@ ROOTING_MODES = ("reference", "protocol", "batch", "soa")
 #: message-level protocol on the NCC0 simulator with real capacity
 #: enforcement, at the three execution tiers.
 EXPANDER_MODES = ("walks", "protocol", "batch", "soa")
+
+#: Execution tiers of the §4 hybrid pipeline (Theorem 1.2,
+#: :func:`repro.hybrid.components.connected_components_hybrid`):
+#: per-node ``"object"`` structures or the columnar ``"soa"`` port of
+#: :mod:`repro.hybrid.soa_pipeline`.  The authoritative tuple is
+#: ``repro.hybrid.components.HYBRID_TIERS``; it is mirrored here as a
+#: literal (a module-level import of :mod:`repro.hybrid` would cycle
+#: through ``repro.core.__init__``) so the harness can expose all four
+#: stack dimensions from one module — the test suite asserts the two
+#: stay identical.
+HYBRID_MODES = ("object", "soa")
 
 
 def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BFSForest:

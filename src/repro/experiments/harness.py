@@ -28,6 +28,7 @@ __all__ = [
     "TIER_CHOICES",
     "ROOTING_CHOICES",
     "EXPANDER_CHOICES",
+    "HYBRID_CHOICES",
     "select_tier",
     "tier_filter",
     "select_engine",
@@ -44,10 +45,10 @@ from repro.net.network import ENGINES as ENGINE_CHOICES  # noqa: E402
 #: vectorized delivery path (one Python call advances all nodes).
 TIER_CHOICES = ENGINE_CHOICES + ("soa",)
 
-#: Rooting / expander modes of
-#: :func:`repro.core.pipeline.build_well_formed_tree` that
-#: pipeline-driving benchmarks can select between.
+#: Rooting / expander / hybrid modes of the pipelines that
+#: stack-driving benchmarks can select between.
 from repro.core.pipeline import EXPANDER_MODES as EXPANDER_CHOICES  # noqa: E402
+from repro.core.pipeline import HYBRID_MODES as HYBRID_CHOICES  # noqa: E402
 from repro.core.pipeline import ROOTING_MODES as ROOTING_CHOICES  # noqa: E402
 
 #: The benchmark-selectable dimensions: env var, fallback default, and
@@ -58,6 +59,7 @@ _TIER_KINDS: dict[str, tuple[str, str, tuple[str, ...]]] = {
     "engine": ("REPRO_ENGINE", "vectorized", TIER_CHOICES),
     "rooting": ("REPRO_ROOTING", "reference", ROOTING_CHOICES),
     "expander": ("REPRO_EXPANDER", "walks", EXPANDER_CHOICES),
+    "hybrid": ("REPRO_HYBRID", "object", HYBRID_CHOICES),
 }
 
 
@@ -71,8 +73,9 @@ def select_tier(
 
     ``kind`` is ``"engine"`` (delivery engine / execution tier,
     ``REPRO_ENGINE``), ``"rooting"`` (pipeline rooting mode,
-    ``REPRO_ROOTING``), or ``"expander"`` (pipeline expander mode,
-    ``REPRO_EXPANDER``).  Precedence: explicit CLI value > the kind's
+    ``REPRO_ROOTING``), ``"expander"`` (pipeline expander mode,
+    ``REPRO_EXPANDER``), or ``"hybrid"`` (§4 hybrid pipeline tier,
+    ``REPRO_HYBRID``).  Precedence: explicit CLI value > the kind's
     environment variable > ``default`` (the kind's conventional default
     when omitted).  Raises on unknown kinds and names so typos fail
     loudly instead of silently benchmarking the wrong stack; pass

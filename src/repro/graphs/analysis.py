@@ -53,6 +53,8 @@ def adjacency_sets(graph) -> list[set[int]]:
     """
     if hasattr(graph, "neighbor_sets"):  # PortGraph
         return graph.neighbor_sets()
+    if hasattr(graph, "to_sets"):  # CSRAdjacency (repro.hybrid.soa_pipeline)
+        return graph.to_sets()
     if isinstance(graph, (nx.Graph, nx.DiGraph)):
         n = graph.number_of_nodes()
         adj: list[set[int]] = [set() for _ in range(n)]

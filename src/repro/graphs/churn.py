@@ -135,6 +135,8 @@ def rebuild_survivor_overlay(
     rooting: str = "batch",
     expander: str = "walks",
     params=None,
+    hybrid: str | None = None,
+    overlay_params=None,
 ) -> SurvivorRebuild:
     """Churn the graph, then rebuild a fresh overlay on the survivors.
 
@@ -147,21 +149,74 @@ def rebuild_survivor_overlay(
     identical survivor overlay (the regression pinned by
     ``tests/graphs/test_churn.py``).
 
+    Passing ``hybrid`` (a tier from
+    :data:`repro.hybrid.components.HYBRID_TIERS`) switches the rebuild to
+    the §4 pipeline instead: *all* surviving components — not just the
+    largest — get per-component well-formed trees via
+    :func:`repro.hybrid.components.connected_components_hybrid` on the
+    chosen tier (``"soa"`` keeps churn-rebuild loops practical at
+    ``n ≥ 10⁵``), with ``overlay_params`` forwarded to the hybrid
+    overlay.  ``survivors`` then lists every survivor and ``overlay`` is
+    the :class:`~repro.hybrid.components.ComponentsResult`.  Both hybrid
+    tiers rebuild bit-for-bit identically under a matched seed.
+
     Raises
     ------
     ValueError
-        If churn leaves fewer than two connected survivors — there is no
-        overlay to rebuild.
+        If churn leaves fewer than two connected survivors (fewer than
+        two survivors total in hybrid mode) — there is no overlay to
+        rebuild.
     """
     # Lazy import: repro.core imports this package at module load.
     from repro.core.pipeline import build_well_formed_tree
     import networkx as nx
+
+    if hybrid is not None:
+        # Columnar end to end: the fail draw is the same single
+        # ``fail_mask`` comparison the per-node path consumes, so hybrid
+        # and non-hybrid rebuilds stay seed-matched, but the survivor
+        # graph, the churn report, and the rebuild never materialise
+        # per-node sets — which is what keeps this path practical at the
+        # n ≥ 10⁵ scale it exists for.
+        from repro.hybrid.components import HYBRID_TIERS, connected_components_hybrid
+        from repro.hybrid.soa_pipeline import CSRAdjacency, flood_min_ids_columns
+
+        if hybrid not in HYBRID_TIERS:
+            raise ValueError(
+                f"hybrid must be one of {HYBRID_TIERS}, got {hybrid!r}"
+            )
+        if params is not None or rooting != "batch" or expander != "walks":
+            raise ValueError(
+                "params/rooting/expander configure the Theorem 1.1 rebuild "
+                "and are ignored by the hybrid pipeline — pass overlay_params "
+                "instead (or drop hybrid=)"
+            )
+        csr = CSRAdjacency.from_graph(graph)
+        alive = fail_mask(csr.n, p, rng)
+        build_rng = rng.spawn(1)[0]
+        survivors = np.flatnonzero(alive).astype(np.int64)
+        if survivors.shape[0] < 2:
+            raise ValueError(
+                f"churn at p={p} left fewer than 2 survivors to rebuild on"
+            )
+        survivor_graph = csr.induced_by(alive)
+        labels, _rounds = flood_min_ids_columns(survivor_graph)
+        report = ChurnReport(
+            survivors=int(survivors.shape[0]),
+            components=int(np.unique(labels).shape[0]),
+            largest_component=int(np.bincount(labels).max()),
+        )
+        components = connected_components_hybrid(
+            survivor_graph, rng=build_rng, overlay_params=overlay_params, tier=hybrid
+        )
+        return SurvivorRebuild(report=report, survivors=survivors, overlay=components)
 
     adj = adjacency_sets(graph)
     surviving, alive = fail_nodes(adj, p, rng)
     build_rng = rng.spawn(1)[0]
     comps = _alive_components(surviving, alive)
     report = _report_from_components(comps, alive)
+
     largest = max(comps, key=len, default=[])
     if len(largest) < 2:
         raise ValueError(

@@ -243,6 +243,21 @@ class PortGraph:
         """Distinct undirected non-loop edges (no multiplicity)."""
         return set(self.edge_multiset())
 
+    def num_unique_edges(self) -> int:
+        """``len(unique_edges())`` without materialising Python tuples.
+
+        One vectorized pass over the port matrix — the per-evolution
+        ``distinct_edges`` statistic at ``n = 10⁵`` costs milliseconds
+        instead of a 10⁶-iteration Python loop.
+        """
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.delta)
+        cols = self.ports.reshape(-1)
+        mask = cols > rows
+        if not mask.any():
+            return 0
+        keys = np.sort(rows[mask] * np.int64(self.n) + cols[mask])
+        return int(1 + np.count_nonzero(keys[1:] != keys[:-1]))
+
     # ------------------------------------------------------------------
     # Matrices
     # ------------------------------------------------------------------

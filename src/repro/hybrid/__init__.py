@@ -20,10 +20,22 @@ from repro.hybrid.overlay import (
     build_hybrid_overlay,
 )
 from repro.hybrid.components import (
+    HYBRID_TIERS,
     ComponentForest,
     ComponentsResult,
     connected_components_hybrid,
     well_formed_forest,
+)
+from repro.hybrid.soa_pipeline import (
+    CSRAdjacency,
+    ReducedColumns,
+    SoAHybridLedger,
+    SoASpannerClass,
+    SpannerColumns,
+    build_hybrid_overlay_soa,
+    build_spanner_soa,
+    connected_components_hybrid_soa,
+    reduce_degree_soa,
 )
 from repro.hybrid.spanning_tree import (
     SpanningTreeResult,
@@ -57,10 +69,20 @@ __all__ = [
     "HybridOverlayParams",
     "HybridOverlayResult",
     "build_hybrid_overlay",
+    "HYBRID_TIERS",
     "ComponentForest",
     "ComponentsResult",
     "connected_components_hybrid",
     "well_formed_forest",
+    "CSRAdjacency",
+    "ReducedColumns",
+    "SoAHybridLedger",
+    "SoASpannerClass",
+    "SpannerColumns",
+    "build_hybrid_overlay_soa",
+    "build_spanner_soa",
+    "connected_components_hybrid_soa",
+    "reduce_degree_soa",
     "SpanningTreeResult",
     "UnwindBudgetExceeded",
     "spanning_tree_hybrid",

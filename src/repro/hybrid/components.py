@@ -36,7 +36,23 @@ from repro.hybrid.overlay import (
 from repro.hybrid.spanner import SpannerResult, build_spanner
 from repro.net.hybrid import HybridLedger
 
-__all__ = ["ComponentForest", "ComponentsResult", "well_formed_forest", "connected_components_hybrid"]
+__all__ = [
+    "HYBRID_TIERS",
+    "ComponentForest",
+    "ComponentsResult",
+    "well_formed_forest",
+    "connected_components_hybrid",
+]
+
+#: Execution tiers of the §4 pipeline: ``"object"`` runs the per-node
+#: ``list[set]``/``dict`` implementations of this package; ``"soa"`` runs
+#: the columnar port (:mod:`repro.hybrid.soa_pipeline` — the spanner
+#: broadcast as an :class:`~repro.net.soa.SoAProtocolClass` population,
+#: flat-column degree reduction / preparation / BFS).  Both produce
+#: bit-for-bit identical labels, forests, overlays, and ledger totals
+#: under a shared seed; benchmarks select via ``REPRO_HYBRID`` through
+#: :func:`repro.experiments.harness.select_tier`.
+HYBRID_TIERS = ("object", "soa")
 
 
 @dataclass
@@ -124,6 +140,7 @@ def connected_components_hybrid(
     m_bound: int | None = None,
     overlay_params: HybridOverlayParams | None = None,
     record_traces: bool = False,
+    tier: str = "object",
 ) -> ComponentsResult:
     """Theorem 1.2: well-formed trees on every connected component.
 
@@ -138,7 +155,26 @@ def connected_components_hybrid(
         ``O(log m + log log n)`` refinement.
     record_traces:
         Propagated to the overlay builder (Theorem 1.3 needs it).
+    tier:
+        One of :data:`HYBRID_TIERS`.  ``"soa"`` dispatches to the
+        columnar pipeline (:mod:`repro.hybrid.soa_pipeline`), which
+        produces the identical result with flat-column ``spanner`` /
+        ``reduced`` representations — the tier that keeps churn-rebuild
+        loops practical at ``n ≥ 10⁵``.
     """
+    if tier not in HYBRID_TIERS:
+        raise ValueError(f"tier must be one of {HYBRID_TIERS}, got {tier!r}")
+    if tier == "soa":
+        # Lazy import: soa_pipeline pulls the network stack in.
+        from repro.hybrid.soa_pipeline import connected_components_hybrid_soa
+
+        return connected_components_hybrid_soa(
+            graph,
+            rng=rng,
+            m_bound=m_bound,
+            overlay_params=overlay_params,
+            record_traces=record_traces,
+        )
     if rng is None:
         rng = np.random.default_rng(0)
     adj = adjacency_sets(graph)

@@ -131,6 +131,7 @@ class HybridExpanderBuilder:
         params: HybridOverlayParams,
         rng: np.random.Generator,
         record_traces: bool = False,
+        ledger: HybridLedger | None = None,
     ) -> None:
         if base_graph.delta != params.delta:
             raise ValueError("graph degree must equal params.delta")
@@ -140,7 +141,9 @@ class HybridExpanderBuilder:
         self.levels: list[PortGraph] = [base_graph]
         self.level_registries: list[EdgeRegistry] = []
         self.history: list[EvolutionStats] = []
-        self.ledger = HybridLedger()
+        # Any HybridLedger-compatible accumulator works here; the SoA
+        # pipeline injects its columnar SoAHybridLedger.
+        self.ledger = ledger if ledger is not None else HybridLedger()
 
     @property
     def current(self) -> PortGraph:
@@ -217,7 +220,7 @@ class HybridExpanderBuilder:
             tokens_accepted=int(accepted.shape[0]),
             tokens_dropped=int(walk.origins.shape[0]) - int(accepted.shape[0]),
             max_token_load=int(walk.max_load_per_round.max(initial=0)),
-            distinct_edges=len(new_graph.unique_edges()),
+            distinct_edges=new_graph.num_unique_edges(),
         )
         self.levels.append(new_graph)
         self.level_registries.append(registry)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.walks import run_token_walks
 from repro.graphs.portgraph import PortGraph
+from repro.net.vectorops import group_argsort
 
 __all__ = ["StitchedWalkResult", "stitched_walks"]
 
@@ -152,12 +153,14 @@ def _pair_tokens(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     perm = rng.permutation(m)
-    order = perm[np.argsort(positions[perm], kind="stable")]
+    order = perm[group_argsort(positions[perm], int(positions.max()) + 1)]
     sorted_pos = positions[order]
-    group_start = np.searchsorted(sorted_pos, sorted_pos, side="left")
-    group_end = np.searchsorted(sorted_pos, sorted_pos, side="right")
-    rank = np.arange(m) - group_start
-    pairs = (group_end - group_start) // 2
+    # Group bounds by run lengths of the sorted column (the former
+    # whole-column double searchsorted, at a fraction of the cost).
+    starts = np.flatnonzero(np.concatenate([[True], sorted_pos[1:] != sorted_pos[:-1]]))
+    counts = np.diff(np.append(starts, m))
+    rank = np.arange(m, dtype=np.int64) - np.repeat(starts, counts)
+    pairs = np.repeat(counts // 2, counts)
     reds = order[rank < pairs]
     blues = order[(rank >= pairs) & (rank < 2 * pairs)]
     return reds, blues

@@ -84,7 +84,14 @@ def run_with_asynchrony(
     Every message *delivered* for round ``i + 1`` receives an i.i.d.
     delay uniform on ``[1, max_delay]``; the synchroniser releases round
     ``i + 1`` once every round-``i`` message has arrived, i.e. after
-    ``max_delay`` time units per round.  Because nodes act only on
+    ``max_delay`` time units per round.  The barrier boundary is
+    *inclusive*: a delay equal to ``max_delay`` (the slowest link
+    footnote 2 allows) arrives exactly at the barrier and is delivered
+    with it, in both this per-node synchroniser (which holds whole
+    rounds, so a maximal delay is absorbed structurally) and the SoA
+    delay queue (which holds per-message release times and releases
+    ``release <= barrier`` — a delay *beyond* the barrier raises there
+    rather than starving the run).  Because nodes act only on
     barrier boundaries, the execution is semantically the synchronous one
     — the function runs the protocol on the standard :class:`SyncNetwork`
     while accounting the asynchronous clock, and reports the dilation.

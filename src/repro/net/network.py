@@ -70,6 +70,51 @@ __all__ = [
 ENGINES = ("legacy", "vectorized")
 
 
+def _fault_keep_indices(keep, m_total: int) -> np.ndarray:
+    """Normalise a fault hook's return value to ascending keep-indices.
+
+    One contract for both delivery engines: a hook may return either a
+    **boolean keep-mask** over the round's remote messages (length must
+    equal the message count) or ascending integer **keep-indices** (the
+    shape :func:`repro.net.vectorops.segmented_keep_indices` produces, so
+    truncation-style hooks compose without a mask detour).  Anything else
+    — wrong mask length, out-of-range or non-ascending indices, a float
+    array — raises instead of silently corrupting the round: an integer
+    array fed to ``np.flatnonzero`` (the old mask-only decode) would have
+    been misread as a mask, dropping different messages *and* miscounting
+    ``metrics.fault_drops``.
+    """
+    keep = np.asarray(keep)
+    if keep.ndim != 1:
+        raise ValueError(
+            f"fault hook must return a 1-d keep-mask or keep-indices, "
+            f"got shape {keep.shape}"
+        )
+    if keep.dtype == np.bool_:
+        if keep.shape[0] != m_total:
+            raise ValueError(
+                f"fault hook keep-mask has length {keep.shape[0]}, "
+                f"expected the round's {m_total} remote messages"
+            )
+        return np.flatnonzero(keep)
+    if not np.issubdtype(keep.dtype, np.integer):
+        raise TypeError(
+            "fault hook must return a boolean keep-mask or integer "
+            f"keep-indices, got dtype {keep.dtype}"
+        )
+    if keep.shape[0]:
+        if int(keep[0]) < 0 or int(keep[-1]) >= m_total:
+            raise ValueError(
+                f"fault hook keep-indices out of range for {m_total} messages"
+            )
+        if keep.shape[0] > 1 and bool((keep[1:] <= keep[:-1]).any()):
+            raise ValueError(
+                "fault hook keep-indices must be strictly ascending "
+                "(canonical message order)"
+            )
+    return keep
+
+
 @dataclass(frozen=True)
 class CapacityPolicy:
     """Per-node per-round message budgets.  ``None`` disables a bound
@@ -300,12 +345,15 @@ class SyncNetwork:
     ``fault_hook`` installs an oblivious message adversary in the delivery
     tail: a callable ``hook(round_no, senders, receivers) -> keep`` over
     the round's *remote* traffic in canonical order (real node ids,
-    parallel columns), returning a boolean keep-mask or ``None`` for "no
-    faults this round".  The hook runs after the local split (self-addressed
-    messages bypass the network and are immune) and before send-capacity
-    truncation, and must not consume the delivery RNG — which is what
-    keeps a faulted execution identical across engines and node tiers
-    under a shared seed (see :mod:`repro.scenarios.spec`).
+    parallel columns), returning ``None`` for "no faults this round", a
+    boolean keep-mask, or ascending integer keep-indices (both forms are
+    validated and decoded identically by both engines — see
+    ``_fault_keep_indices``).  The hook runs after the local split
+    (self-addressed messages bypass the network and are immune) and
+    before send-capacity truncation, and must not consume the delivery
+    RNG — which is what keeps a faulted execution identical across
+    engines and node tiers under a shared seed (see
+    :mod:`repro.scenarios.spec`).
     """
 
     def __init__(
@@ -509,7 +557,7 @@ class SyncNetwork:
             )
             keep = self.fault_hook(self.round_no, snd_ids, rcv_ids)
             if keep is not None:
-                kept = np.flatnonzero(keep)
+                kept = _fault_keep_indices(keep, len(flat))
                 if kept.size != len(flat):
                     metrics.fault_drops += len(flat) - kept.size
                     flat = [flat[i] for i in kept.tolist()]
@@ -914,9 +962,9 @@ class SyncNetwork:
         # every tier sees the same fault stream under a shared seed.
         if self.fault_hook is not None and m_total:
             snd_ids = snd_all if contiguous else ids[snd_all]
-            keep_mask = self.fault_hook(self.round_no, snd_ids, rcv_all)
-            if keep_mask is not None:
-                kept = np.flatnonzero(keep_mask)
+            keep = self.fault_hook(self.round_no, snd_ids, rcv_all)
+            if keep is not None:
+                kept = _fault_keep_indices(keep, m_total)
                 if kept.size != m_total:
                     metrics.fault_drops += m_total - kept.size
                     select(kept)

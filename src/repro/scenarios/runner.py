@@ -50,6 +50,7 @@ __all__ = [
     "ScenarioRunner",
     "delay_drop_churn_grid",
     "run_rooting_scenario",
+    "run_churn_rebuild_scenario",
     "tier_invariant_view",
 ]
 
@@ -117,6 +118,82 @@ def run_rooting_scenario(
         "send_drops": metrics.send_drops,
         "receive_drops": metrics.receive_drops,
         "fault_drops": metrics.fault_drops,
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def run_churn_rebuild_scenario(
+    graph: PortGraph,
+    spec: ScenarioSpec,
+    seed: int,
+    tier: str = "soa",
+    overlay_params=None,
+) -> dict:
+    """Run one scenario-driven churn-rebuild cell: the spec's crash waves
+    kill their members for good, and the §4 hybrid pipeline rebuilds
+    per-component well-formed trees over every survivor on the chosen
+    hybrid tier (:data:`repro.hybrid.components.HYBRID_TIERS`).
+
+    The churn *is* the scenario: crashed membership comes from the
+    compiled :class:`~repro.scenarios.spec.FaultInjector`'s down-mask at
+    the last crash onset (so waves that already rejoined count as alive),
+    making the kill set a pure function of ``(spec, fault_seed)`` —
+    identical across tiers, like every other fault stream.  Survivor
+    extraction and the ground-truth label check are columnar
+    (:class:`~repro.hybrid.soa_pipeline.CSRAdjacency`), which is what
+    lets the rebuild sweep run at ``n = 10⁵``
+    (``benchmarks/bench_s5_hybrid_scaling.py``).
+    """
+    from repro.hybrid.components import HYBRID_TIERS, connected_components_hybrid
+    from repro.hybrid.soa_pipeline import CSRAdjacency, flood_min_ids_columns
+
+    if tier not in HYBRID_TIERS:
+        raise ValueError(f"tier must be one of {HYBRID_TIERS}, got {tier!r}")
+    n = graph.n
+    injector = spec.compile(n)
+    alive = np.ones(n, dtype=bool)
+    if spec.crashes:
+        reference_round = max(w.round_no for w in spec.crashes)
+        down = injector.down_mask(reference_round)
+        if down is not None:
+            alive = ~down
+    survivors = np.flatnonzero(alive).astype(np.int64)
+    if survivors.shape[0] < 2:
+        raise ValueError(f"scenario {spec.name!r} left fewer than 2 survivors")
+
+    # Columnar survivor-induced adjacency, relabelled to 0..k-1 (the
+    # same extraction the direct-call churn rebuild uses).
+    csr = CSRAdjacency.from_graph(graph).induced_by(alive)
+    truth, _ = flood_min_ids_columns(csr)
+
+    start = time.perf_counter()
+    result = connected_components_hybrid(
+        csr,
+        rng=np.random.default_rng(seed),
+        overlay_params=overlay_params,
+        tier=tier,
+    )
+    wall = time.perf_counter() - start
+    labels = result.labels
+    roots = np.unique(labels)
+    return {
+        "scenario": spec.describe(),
+        "workload": "churn-rebuild",
+        "n": n,
+        "tier": tier,
+        "seed": seed,
+        "survivors": int(survivors.shape[0]),
+        "components": int(roots.shape[0]),
+        "largest_fraction": float(
+            np.bincount(labels, minlength=survivors.shape[0]).max()
+            / max(1, survivors.shape[0])
+        ),
+        "labels_match_ground_truth": bool(np.array_equal(labels, truth)),
+        "labels_sha": hashlib.sha1(labels.tobytes()).hexdigest()[:16],
+        "forest_sha": hashlib.sha1(
+            result.forest.parent.tobytes() + result.forest.root_of.tobytes()
+        ).hexdigest()[:16],
+        "ledger": result.ledger.summary(),
         "wall_seconds": round(wall, 4),
     }
 
@@ -199,9 +276,17 @@ SCENARIO_GRIDS: dict[str, tuple[ScenarioSpec, ...]] = {
 class ScenarioRunner:
     """Execute scenario grids over sizes × tiers × seeds.
 
-    The workload family is the ring-plus-chords stand-in for evolution
+    The graph family is the ring-plus-chords stand-in for evolution
     output shared with the S2/S3 benches (low diameter, degree ≤ 6), so
     scenario results stay comparable with the synchronous scaling story.
+
+    ``workload`` selects what each cell runs: ``"rooting"`` (the
+    message-level rooting protocol under the synchroniser, tiers from
+    :data:`~repro.core.protocol_tree.ROOTING_TIERS`) or
+    ``"churn-rebuild"`` (crash waves kill for good, the §4 hybrid
+    pipeline rebuilds per-component trees over the survivors — tiers
+    from :data:`repro.hybrid.components.HYBRID_TIERS`, with
+    ``overlay_params`` forwarded to the hybrid overlay).
     """
 
     sizes: tuple[int, ...] = (512,)
@@ -209,12 +294,25 @@ class ScenarioRunner:
     tiers: tuple[str, ...] = ("batch", "soa")
     delta: int = 16
     chords: int = 2
+    workload: str = "rooting"
+    overlay_params: object | None = None
 
     def __post_init__(self) -> None:
+        if self.workload == "rooting":
+            tier_choices = ROOTING_TIERS
+        elif self.workload == "churn-rebuild":
+            from repro.hybrid.components import HYBRID_TIERS
+
+            tier_choices = HYBRID_TIERS
+        else:
+            raise ValueError(
+                f"workload must be 'rooting' or 'churn-rebuild', got {self.workload!r}"
+            )
         for tier in self.tiers:
-            if tier not in ROOTING_TIERS:
+            if tier not in tier_choices:
                 raise ValueError(
-                    f"tier must be one of {ROOTING_TIERS}, got {tier!r}"
+                    f"tier must be one of {tier_choices} for the "
+                    f"{self.workload!r} workload, got {tier!r}"
                 )
         self._graphs: dict[int, PortGraph] = {}
 
@@ -226,10 +324,22 @@ class ScenarioRunner:
         return self._graphs[n]
 
     # ------------------------------------------------------------------
+    def run_cell(self, n: int, spec: ScenarioSpec, seed: int, tier: str) -> dict:
+        """One (size, spec, seed, tier) cell of the configured workload."""
+        if self.workload == "churn-rebuild":
+            return run_churn_rebuild_scenario(
+                self.graph_for(n),
+                spec,
+                seed,
+                tier=tier,
+                overlay_params=self.overlay_params,
+            )
+        return run_rooting_scenario(self.graph_for(n), spec, seed, tier=tier)
+
     def run_spec(self, spec: ScenarioSpec) -> list[dict]:
         """All (size, tier, seed) cells of one spec."""
         return [
-            run_rooting_scenario(self.graph_for(n), spec, seed, tier=tier)
+            self.run_cell(n, spec, seed, tier)
             for n in self.sizes
             for tier in self.tiers
             for seed in self.seeds

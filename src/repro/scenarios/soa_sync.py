@@ -85,12 +85,31 @@ class SoADelayQueue:
         self._pushes += 1
 
     # ------------------------------------------------------------------
-    def release_until(self, now: int) -> SoAInbox:
+    def release_until(self, now: int, require_drain: bool = False) -> SoAInbox:
         """Dequeue every message with ``release <= now`` as a
-        receiver-sorted :class:`SoAInbox` (stable bucketing)."""
+        receiver-sorted :class:`SoAInbox` (stable bucketing).
+
+        The boundary is inclusive: a message whose delay equals the
+        barrier length releases at exactly that barrier (the
+        ``LinkDelay(max_delay) == barrier`` case — pinned by
+        ``tests/scenarios/test_soa_sync.py``).  With ``require_drain``
+        the caller asserts the α-synchroniser invariant that a barrier
+        empties the queue completely; a message still held afterwards
+        means its delay exceeded the barrier, which under footnote 2
+        cannot happen — the queue raises a clear error instead of letting
+        the run starve into a confusing non-quiescence failure (or a
+        silent ``converged=False``).
+        """
         if len(self) == 0:
             return SoAInbox.empty()
         due = self._release <= now
+        if require_drain and not due.all():
+            held = int((~due).sum())
+            raise RuntimeError(
+                f"{held} message(s) delayed beyond the synchroniser barrier "
+                f"(release > {now}); delays must be <= the barrier length "
+                "(ScenarioSpec.max_delay) under the footnote-2 α-synchroniser"
+            )
         if due.all():
             released = self._inbox
             single_push = self._pushes == 1
@@ -154,9 +173,11 @@ def run_soa_synchroniser(
             observed = max(observed, int(delays.max(initial=0)))
             queue.push(staged, clock + delays)
         # The barrier: wait out the slowest possible link, then deliver
-        # everything that has arrived (under the α-synchroniser, all of it).
+        # everything that has arrived (under the α-synchroniser, all of
+        # it — require_drain turns a delay beyond the barrier into an
+        # immediate, clearly-attributed error).
         clock += max_delay
-        network.stage_soa_inbox(queue.release_until(clock))
+        network.stage_soa_inbox(queue.release_until(clock, require_drain=True))
         if not network.pending_messages() and not len(queue) and soa_class.is_idle():
             converged = True
             break

@@ -81,7 +81,18 @@ class MessageDrop:
 class CrashWave:
     """A fraction of nodes crashes at ``round_no`` (network isolation:
     all their traffic is dropped both directions), optionally rejoining —
-    connectivity restored, state intact — at ``rejoin_round``."""
+    connectivity restored, state intact — at ``rejoin_round``.
+
+    **Boundary semantics** (pinned by ``tests/scenarios/test_spec.py``):
+    a message is subject to the fault state of the round it was *sent*
+    in, and the crash interval is half-open — ``[round_no,
+    rejoin_round)``.  A node rejoining in round ``r`` therefore does
+    **not** receive messages sent in round ``r − 1`` (it was still
+    isolated when they were sent); the first traffic it can exchange is
+    sent in round ``r`` and arrives at the start of round ``r + 1``.
+    Symmetrically, messages sent *to or by* the node in round
+    ``round_no`` are already dropped.
+    """
 
     round_no: int
     fraction: float
@@ -100,7 +111,13 @@ class CrashWave:
 class Partition:
     """Temporary partition: during rounds ``[start, stop)`` the nodes are
     split into ``blocks`` uniform random blocks and cross-block messages
-    are dropped."""
+    are dropped.
+
+    Same half-open, send-round boundary as :class:`CrashWave`:
+    cross-block messages *sent* in rounds ``start … stop − 1`` are
+    dropped; a message sent in round ``stop`` (the heal round) crosses
+    freely and arrives in round ``stop + 1``.
+    """
 
     start: int
     stop: int

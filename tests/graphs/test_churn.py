@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import generators as G
+from repro.graphs.portgraph import PortGraph
 from repro.graphs.churn import (
     churn_report,
     fail_nodes,
@@ -138,4 +139,53 @@ class TestSurvivorRebuild:
         with pytest.raises(ValueError, match="rebuild"):
             rebuild_survivor_overlay(
                 G.cycle_graph(16), 1.0, np.random.default_rng(0)
+            )
+
+
+class TestHybridRebuild:
+    """Churn-rebuild through the §4 pipeline: every surviving component
+    (not just the largest) gets a well-formed tree, identically on both
+    hybrid tiers under a matched seed."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hybrid_tiers_rebuild_identically(self, seed):
+        graph = PortGraph.ring_with_chords(220, delta=16, chords=2, seed=seed)
+        per_node = rebuild_survivor_overlay(
+            graph, 0.15, np.random.default_rng(seed), hybrid="object"
+        )
+        columnar = rebuild_survivor_overlay(
+            graph, 0.15, np.random.default_rng(seed), hybrid="soa"
+        )
+        assert np.array_equal(per_node.survivors, columnar.survivors)
+        assert per_node.report == columnar.report
+        assert np.array_equal(per_node.overlay.labels, columnar.overlay.labels)
+        assert np.array_equal(
+            per_node.overlay.forest.parent, columnar.overlay.forest.parent
+        )
+        assert per_node.overlay.ledger.summary() == columnar.overlay.ledger.summary()
+
+    def test_hybrid_rebuild_covers_all_components(self):
+        graph = PortGraph.ring_with_chords(150, delta=16, chords=1, seed=2)
+        rebuild = rebuild_survivor_overlay(
+            graph, 0.3, np.random.default_rng(7), hybrid="soa"
+        )
+        # Every survivor is labelled and parented within its component.
+        assert rebuild.survivors.shape[0] == rebuild.report.survivors
+        labels = rebuild.overlay.labels
+        assert labels.shape[0] == rebuild.survivors.shape[0]
+        assert len(rebuild.overlay.components()) == rebuild.report.components
+        assert rebuild.overlay.forest.max_degree() <= 3
+
+    def test_invalid_hybrid_tier_rejected(self):
+        graph = PortGraph.ring_with_chords(64, delta=16, chords=2, seed=0)
+        with pytest.raises(ValueError, match="hybrid must be one of"):
+            rebuild_survivor_overlay(
+                graph, 0.1, np.random.default_rng(0), hybrid="warp"
+            )
+
+    def test_hybrid_rejects_theorem11_kwargs(self):
+        graph = PortGraph.ring_with_chords(64, delta=16, chords=2, seed=0)
+        with pytest.raises(ValueError, match="overlay_params instead"):
+            rebuild_survivor_overlay(
+                graph, 0.1, np.random.default_rng(0), rooting="soa", hybrid="soa"
             )

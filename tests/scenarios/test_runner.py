@@ -130,3 +130,79 @@ class TestGraphCache:
         g1 = runner.graph_for(64)
         g2 = runner.graph_for(64)
         assert g1 is g2
+
+
+class TestChurnRebuildWorkload:
+    """The scenario-driven churn-rebuild workload (ISSUE 5): crash waves
+    kill for good, the §4 hybrid pipeline rebuilds per-component trees
+    over the survivors, identically on both hybrid tiers."""
+
+    SPEC = ScenarioSpec(
+        name="rebuild/churn20",
+        crashes=(CrashWave(round_no=2, fraction=0.2),),
+        fault_seed=6,
+    )
+
+    def test_cell_is_tier_invariant(self):
+        from repro.scenarios.runner import run_churn_rebuild_scenario
+
+        graph = PortGraph.ring_with_chords(256, delta=16, chords=2, seed=1)
+        rows = [
+            run_churn_rebuild_scenario(graph, self.SPEC, seed=0, tier=tier)
+            for tier in ("object", "soa")
+        ]
+        assert tier_invariant_view(rows[0]) == tier_invariant_view(rows[1])
+        assert rows[0]["workload"] == "churn-rebuild"
+        assert rows[0]["survivors"] < 256
+        assert rows[0]["labels_match_ground_truth"]
+
+    def test_kill_set_is_a_function_of_the_spec(self):
+        from repro.scenarios.runner import run_churn_rebuild_scenario
+
+        graph = PortGraph.ring_with_chords(200, delta=16, chords=2, seed=2)
+        a = run_churn_rebuild_scenario(graph, self.SPEC, seed=0, tier="soa")
+        b = run_churn_rebuild_scenario(graph, self.SPEC, seed=1, tier="soa")
+        # Different delivery seeds, same fault_seed: same survivors.
+        assert a["survivors"] == b["survivors"]
+
+    def test_rejoined_waves_count_as_alive(self):
+        from repro.scenarios.runner import run_churn_rebuild_scenario
+
+        graph = PortGraph.ring_with_chords(128, delta=16, chords=2, seed=3)
+        rejoined = ScenarioSpec(
+            name="rebuild/rejoined",
+            crashes=(
+                CrashWave(round_no=0, fraction=0.3, rejoin_round=2),
+                CrashWave(round_no=2, fraction=0.1),
+            ),
+            fault_seed=9,
+        )
+        row = run_churn_rebuild_scenario(graph, rejoined, seed=0, tier="soa")
+        # Only the second (never-rejoining) wave is down at the reference
+        # round, so strictly fewer than 30% + 10% of nodes are missing.
+        assert row["survivors"] > 128 * 0.75
+
+    def test_runner_grid_dispatches_by_workload(self):
+        runner = ScenarioRunner(
+            sizes=(96,), seeds=(0,), tiers=("object", "soa"),
+            workload="churn-rebuild",
+        )
+        payload = runner.run_grid((self.SPEC,))
+        assert len(payload["rows"]) == 2
+        views = [tier_invariant_view(r) for r in payload["rows"]]
+        assert views[0] == views[1]
+
+    def test_workload_validates_tiers(self):
+        with pytest.raises(ValueError, match="churn-rebuild"):
+            ScenarioRunner(tiers=("batch",), workload="churn-rebuild")
+        with pytest.raises(ValueError, match="rooting"):
+            ScenarioRunner(tiers=("walks",), workload="rooting")
+        with pytest.raises(ValueError, match="workload must be"):
+            ScenarioRunner(workload="mining")
+
+    def test_invalid_tier_in_cell(self):
+        from repro.scenarios.runner import run_churn_rebuild_scenario
+
+        graph = PortGraph.ring_with_chords(64, delta=16, chords=2, seed=0)
+        with pytest.raises(ValueError, match="tier must be one of"):
+            run_churn_rebuild_scenario(graph, self.SPEC, seed=0, tier="batch")

@@ -172,3 +172,66 @@ class TestDelayQueue:
         queue = SoADelayQueue(8)
         with pytest.raises(ValueError, match="release-time"):
             queue.push(self._inbox([1, 2], [1, 2]), np.array([1], dtype=np.int64))
+
+
+class TestBarrierBoundary:
+    """ISSUE 5 satellite: ``LinkDelay == barrier length`` is the inclusive
+    boundary — released at exactly that barrier, never held or dropped —
+    and anything *beyond* the barrier fails loudly under
+    ``require_drain`` instead of starving the run."""
+
+    KIND = KINDS.code("q")
+
+    def _inbox(self, receivers, payloads):
+        receivers = np.asarray(receivers, dtype=np.int64)
+        return SoAInbox(
+            np.zeros_like(receivers),
+            receivers,
+            self.KIND,
+            np.asarray(payloads, dtype=np.int64),
+        )
+
+    def test_release_boundary_is_inclusive(self):
+        queue = SoADelayQueue(4)
+        queue.push(self._inbox([1, 2], [7, 8]), np.array([3, 3], dtype=np.int64))
+        # A message whose release time equals the barrier goes out with it.
+        out = queue.release_until(3, require_drain=True)
+        assert out.payloads.tolist() == [7, 8]
+        assert len(queue) == 0
+
+    def test_delay_beyond_barrier_raises_clearly(self):
+        queue = SoADelayQueue(4)
+        queue.push(self._inbox([1, 2], [7, 8]), np.array([3, 4], dtype=np.int64))
+        with pytest.raises(RuntimeError, match="beyond the synchroniser barrier"):
+            queue.release_until(3, require_drain=True)
+
+    def test_without_drain_requirement_messages_are_held_not_dropped(self):
+        queue = SoADelayQueue(4)
+        queue.push(self._inbox([1], [7]), np.array([5], dtype=np.int64))
+        assert len(queue.release_until(4)) == 0
+        assert len(queue) == 1
+        assert queue.release_until(5).payloads.tolist() == [7]
+
+    @pytest.mark.parametrize("max_delay", [1, 2, 7])
+    def test_full_run_at_exact_barrier_matches_synchronous(self, max_delay):
+        """End-to-end boundary value: every delay drawn equals at most the
+        barrier (inclusive), so delayed rooting runs stay bit-for-bit the
+        synchronous execution on both synchronisers for every barrier
+        width — including 1, where *all* delays hit the boundary."""
+        n = 96
+        graph = overlay_like(n, seed=5)
+        fr = _flood_rounds(n)
+        sync = run_soa_rooting(graph, fr, rng=np.random.default_rng(3))
+        for tier in ("batch", "soa"):
+            run, report = run_rooting_under_asynchrony(
+                graph,
+                fr,
+                max_delay=max_delay,
+                rng=np.random.default_rng(3),
+                tier=tier,
+            )
+            assert np.array_equal(run.parent, sync.parent)
+            assert run.metrics.as_dict() == sync.metrics.as_dict()
+            assert report.observed_max_delay <= max_delay
+            if max_delay == 1:
+                assert report.observed_max_delay == 1

@@ -219,3 +219,113 @@ class TestFaultHookOnNetwork:
             net.run_round()
         assert nodes[0].heard == 4
         assert net.metrics.fault_drops == 0
+
+
+class TestRejoinBoundarySemantics:
+    """The half-open, send-round crash interval (ISSUE 5 audit).
+
+    A message is subject to the fault state of the round it was *sent*
+    in: a node crashed over ``[round_no, rejoin_round)`` loses every
+    message sent to or by it in those rounds — so a node rejoining in
+    round ``r`` does **not** receive messages sent in round ``r − 1``,
+    and the first traffic it exchanges is sent in round ``r`` (arriving
+    ``r + 1``).  Pinned on both delivery engines.
+    """
+
+    CRASH, REJOIN = 2, 5
+    SPEC = ScenarioSpec(
+        name="rejoin",
+        crashes=(CrashWave(round_no=CRASH, fraction=1.0, rejoin_round=REJOIN),),
+        fault_seed=1,
+    )
+
+    def _run(self, engine, rounds=8, n=3):
+        nodes = {v: _Pinger(v, n, rounds) for v in range(n)}
+        net = SyncNetwork(
+            nodes,
+            CapacityPolicy.unbounded(),
+            np.random.default_rng(0),
+            engine=engine,
+            fault_hook=self.SPEC.compile(n),
+        )
+        for _ in range(rounds + 1):
+            net.run_round()
+        return {v: nodes[v].log for v in nodes}, net.metrics.as_dict()
+
+    @pytest.mark.parametrize("engine", ["legacy", "vectorized"])
+    def test_rejoiner_misses_round_r_minus_1_traffic(self, engine):
+        logs, metrics = self._run(engine)
+        # Node 1's inbox at round k holds the round-(k-1) send of node 0.
+        received_send_rounds = {
+            payload for entries in logs[1] for (_s, payload) in entries
+        }
+        # Sends of rounds [CRASH, REJOIN) are dropped — including the
+        # round immediately before the rejoin.
+        assert received_send_rounds == {0, 1, 5, 6, 7}
+        assert self.REJOIN - 1 not in received_send_rounds
+        # First post-rejoin message was sent in the rejoin round itself
+        # and arrived one round later.
+        assert (0, self.REJOIN) in logs[1][self.REJOIN + 1]
+        # fraction=1.0 isolates everyone: every send of the crash window
+        # is a fault drop (3 senders × 3 rounds).
+        assert metrics["fault_drops"] == 3 * (self.REJOIN - self.CRASH)
+
+    def test_engines_agree_on_the_boundary(self):
+        assert self._run("legacy") == self._run("vectorized")
+
+    def test_down_mask_interval_is_half_open(self):
+        injector = self.SPEC.compile(4)
+        assert injector.down_mask(self.CRASH - 1) is None
+        assert injector.down_mask(self.CRASH).all()
+        assert injector.down_mask(self.REJOIN - 1).all()
+        # round_no == end: the wave no longer applies at the rejoin round.
+        assert injector.down_mask(self.REJOIN) is None
+        # Never-rejoining waves stay down arbitrarily far out.
+        forever = ScenarioSpec(
+            name="forever", crashes=(CrashWave(round_no=1, fraction=1.0),)
+        ).compile(4)
+        assert forever.down_mask(10**6).all()
+
+    def test_down_mask_cache_survives_boundary_recrossing(self):
+        injector = self.SPEC.compile(4)
+        a = injector.down_mask(self.CRASH)
+        assert injector.down_mask(self.REJOIN) is None
+        b = injector.down_mask(self.CRASH)
+        assert np.array_equal(a, b)
+
+
+class TestPartitionBoundarySemantics:
+    """Partition rounds are the same half-open, send-round interval."""
+
+    START, STOP = 1, 3
+    # fault_seed=1 places nodes 0 and 1 in different blocks (guarded
+    # below), so the 2-node ping ring crosses the cut every round.
+    SPEC = ScenarioSpec(
+        name="split", partition=Partition(start=START, stop=STOP), fault_seed=1
+    )
+
+    def test_seed_really_splits_the_pair(self):
+        injector = self.SPEC.compile(2)
+        assert injector._blocks[0] != injector._blocks[1]
+
+    @pytest.mark.parametrize("engine", ["legacy", "vectorized"])
+    def test_heal_round_send_crosses(self, engine):
+        n, rounds = 2, 6
+        nodes = {v: _Pinger(v, n, rounds) for v in range(n)}
+        net = SyncNetwork(
+            nodes,
+            CapacityPolicy.unbounded(),
+            np.random.default_rng(0),
+            engine=engine,
+            fault_hook=self.SPEC.compile(n),
+        )
+        for _ in range(rounds + 1):
+            net.run_round()
+        received_send_rounds = {
+            payload for entries in nodes[1].log for (_s, payload) in entries
+        }
+        # Sends of rounds [START, STOP) dropped; the STOP-round send (the
+        # heal round) crosses and arrives at STOP + 1.
+        assert received_send_rounds == {0, 3, 4, 5}
+        assert (0, self.STOP) in nodes[1].log[self.STOP + 1]
+        assert net.metrics.fault_drops == 2 * (self.STOP - self.START)

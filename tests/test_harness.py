@@ -132,3 +132,69 @@ class TestSizes:
             geometric_sizes(10, 5)
         with pytest.raises(ValueError):
             geometric_sizes(1, 10, factor=1.0)
+
+
+class TestEnvPlumbingMatrix:
+    """ISSUE 5 satellite: every stack dimension's env variable fails
+    loudly on invalid values (message lists the valid choices) and loses
+    to an explicit CLI value."""
+
+    KINDS = {
+        "engine": ("REPRO_ENGINE", "vectorized"),
+        "rooting": ("REPRO_ROOTING", "reference"),
+        "expander": ("REPRO_EXPANDER", "walks"),
+        "hybrid": ("REPRO_HYBRID", "object"),
+    }
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_invalid_env_value_lists_choices(self, kind, monkeypatch):
+        env_var, _default = self.KINDS[kind]
+        monkeypatch.setenv(env_var, "warp-drive")
+        with pytest.raises(ValueError) as excinfo:
+            select_tier(kind)
+        message = str(excinfo.value)
+        assert f"{kind} must be one of" in message
+        assert "warp-drive" in message
+        # Every valid choice is named, so the fix is copy-pasteable.
+        from repro.experiments.harness import _TIER_KINDS
+
+        for choice in _TIER_KINDS[kind][2]:
+            assert choice in message
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_cli_beats_env(self, kind, monkeypatch):
+        env_var, default = self.KINDS[kind]
+        from repro.experiments.harness import _TIER_KINDS
+
+        choices = _TIER_KINDS[kind][2]
+        other = next(c for c in choices if c != default)
+        monkeypatch.setenv(env_var, default)
+        assert select_tier(kind, cli_value=other) == other
+        # And an invalid env value is *still* overridden by a valid CLI
+        # value (the CLI is resolved first).
+        monkeypatch.setenv(env_var, "bogus")
+        assert select_tier(kind, cli_value=other) == other
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_defaults_without_env(self, kind, monkeypatch):
+        env_var, default = self.KINDS[kind]
+        monkeypatch.delenv(env_var, raising=False)
+        assert select_tier(kind) == default
+        assert tier_filter(kind) is None
+
+    def test_invalid_cli_value_lists_choices(self):
+        with pytest.raises(ValueError, match="hybrid must be one of"):
+            select_tier("hybrid", cli_value="nope")
+
+    def test_hybrid_choices_exported(self):
+        from repro.experiments.harness import HYBRID_CHOICES
+        from repro.hybrid.components import HYBRID_TIERS
+
+        assert HYBRID_CHOICES == HYBRID_TIERS == ("object", "soa")
+
+    def test_tier_filter_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HYBRID", "soa")
+        assert tier_filter("hybrid") == "soa"
+        monkeypatch.setenv("REPRO_HYBRID", "typo")
+        with pytest.raises(ValueError, match="hybrid must be one of"):
+            tier_filter("hybrid")
