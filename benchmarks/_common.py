@@ -14,7 +14,56 @@ targets are the theorem statements).  Conventions:
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
+
+#: Version tag of the machine-readable bench artifact layout.  Every
+#: ``BENCH_S*.json`` produced by ``--json`` carries this under
+#: ``"schema"`` so CI consumers (the shard-invariance job, dashboards)
+#: can hard-fail on layout drift instead of mis-parsing.
+BENCH_SCHEMA = "repro-bench/v1"
+
+
+def bench_payload(
+    bench: str,
+    config: dict,
+    rows: list[dict],
+    checks: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble one bench result in the stable ``repro-bench/v1`` shape.
+
+    ``bench`` names the experiment (``"s3_soa_scaling"``), ``config``
+    captures everything that selected the run (sizes, filters, worker
+    counts, smoke flag), ``rows`` is the flat list of measured rows
+    (plain scalars only — one dict per table row), and ``checks`` holds
+    the hard-assert outcomes (speedup ratios, equality SHAs) so a JSON
+    consumer sees what was *verified*, not just what was measured.
+    ``extra`` merges additional top-level sections (e.g. a nested grid
+    payload) without loosening the core shape.
+    """
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        "config": config,
+        "rows": rows,
+        "checks": checks or {},
+    }
+    if extra:
+        for key in extra:
+            if key in payload:
+                raise ValueError(f"extra section {key!r} collides with a core field")
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(path: str, payload: dict) -> None:
+    """Write a bench payload deterministically (sorted keys, newline)."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
 
 
 def run_once(benchmark, fn):

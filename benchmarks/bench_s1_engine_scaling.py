@@ -173,11 +173,30 @@ def main(argv=None) -> int:
         "--smoke", action="store_true", help="~30s CI variant: small sizes, no asserts"
     )
     add_engine_argument(parser)
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="write the machine-readable repro-bench/v1 payload here",
+    )
     args = parser.parse_args(argv)
     # Filter only when the user chose an engine (CLI flag or REPRO_ENGINE
     # env var — tier_filter validates both and fails loudly on typos).
     engine_filter = tier_filter("engine", args.engine, choices=ENGINE_CHOICES)
-    run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    rows = run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    if args.json:
+        from _common import bench_payload, write_bench_json
+
+        write_bench_json(
+            args.json,
+            bench_payload(
+                "s1_engine_scaling",
+                config={"smoke": args.smoke, "engine_filter": engine_filter},
+                rows=[
+                    {"n": n, "stack": stack, "engine": engine, "seconds": round(s, 4)}
+                    for (n, stack, engine), s in sorted(rows.items())
+                ],
+            ),
+        )
     return 0
 
 

@@ -189,9 +189,28 @@ def main(argv=None) -> int:
         "--smoke", action="store_true", help="~30s CI variant: small sizes, no asserts"
     )
     add_engine_argument(parser, choices=TIER_CHOICES)
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="write the machine-readable repro-bench/v1 payload here",
+    )
     args = parser.parse_args(argv)
     engine_filter = tier_filter("engine", args.engine)
-    run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    rows = run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    if args.json:
+        from _common import bench_payload, write_bench_json
+
+        write_bench_json(
+            args.json,
+            bench_payload(
+                "s2_rooting_scaling",
+                config={"smoke": args.smoke, "engine_filter": engine_filter},
+                rows=[
+                    {"n": n, "stack": stack, "engine": engine, "seconds": round(s, 4)}
+                    for (n, stack, engine), s in sorted(rows.items())
+                ],
+            ),
+        )
     return 0
 
 

@@ -1,20 +1,31 @@
 """S3 — SoA-tier scaling: one Python call per round vs. per-node calls.
 
-ISSUE 3's acceptance bar.  The rooting phase (§2.1, footnote 8) is the
-most call-overhead-bound phase of the Theorem 1.1 pipeline: per-node work
-is a couple of integer compares, so at ``n ≥ 10⁵`` the batch tier's one
+ISSUE 3's acceptance bar, extended by ISSUE 6 with the sharded round
+loop.  The rooting phase (§2.1, footnote 8) is the most
+call-overhead-bound phase of the Theorem 1.1 pipeline: per-node work is
+a couple of integer compares, so at ``n ≥ 10⁵`` the batch tier's one
 Python call per node per round dominates everything.  The SoA tier
-(`repro.core.soa_rooting`) advances *all* nodes with one call over shared
-numpy columns, through the identical vectorized delivery path.
+(`repro.core.soa_rooting`) advances *all* nodes with one call over
+shared numpy columns, through the identical vectorized delivery path.
 
-Measured here, on the same ring-plus-chords stand-in for evolution output
-as S2:
+Measured here, on the same ring-plus-chords stand-in for evolution
+output as S2:
 
 - wall-clock of the batch tier vs. the SoA tier across sizes (both on
   vectorized delivery — the node *representation* is the only variable,
   so the comparison is engine-controlled);
 - a **hard speedup assert**: SoA ≥ 20× over batch nodes at ``n = 10⁵``
   (full mode), ≥ 6× at ``n = 2·10⁴`` (smoke mode, run in CI);
+- the SoA tier across a **worker-count sweep** (``--workers`` /
+  ``REPRO_WORKERS`` restricts it to one count): every count must produce
+  the identical tree, asserted in-bench via the ``tree_sha`` column that
+  also lands in the JSON artifact (the CI shard-invariance job compares
+  the SHAs *across processes*);
+- the **layout-reuse check** (ISSUE 6 acceptance): the same run with
+  ``REPRO_SOA_LAYOUT_REUSE=0`` (the pre-shard per-round re-sort) must be
+  ≥ 2× slower at ``n = 10⁶`` in full mode — the measured win of the
+  persistent receiver-sorted layout; smoke mode records the ratio at its
+  top size without asserting (the win needs big rounds to dominate);
 - a demonstrated ``n = 10⁶`` rooting run on the SoA tier — a scale no
   per-node tier reaches in reasonable time — validated to span with a
   unique root (``run_soa_rooting`` raises otherwise);
@@ -23,11 +34,14 @@ as S2:
 
 Run standalone:  ``PYTHONPATH=src python benchmarks/bench_s3_soa_scaling.py``
 (``--smoke`` for the ~30 s CI variant, ``--engine legacy|vectorized|soa``
-to restrict the stacks timed).
+to restrict the stacks timed, ``--workers N`` to pin the shard count,
+``--json PATH`` for the machine-readable ``repro-bench/v1`` payload).
 """
 
 import argparse
+import hashlib
 import math
+import os
 import sys
 import time
 
@@ -35,14 +49,25 @@ import numpy as np
 
 from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
 from repro.core.soa_rooting import run_soa_rooting
-from repro.experiments.harness import TIER_CHOICES, Table, add_engine_argument, tier_filter
+from repro.experiments.harness import (
+    TIER_CHOICES,
+    Table,
+    add_engine_argument,
+    add_workers_argument,
+    select_workers,
+    tier_filter,
+)
 from repro.graphs.portgraph import PortGraph
+from repro.net.shard import WORKERS_ENV
 
 FULL_SIZES = (10_000, 100_000)
 FULL_SOA_ONLY = (1_000_000,)
 SMOKE_SIZES = (2_000, 20_000)
 FULL_ASSERT = (100_000, 20.0)
 SMOKE_ASSERT = (20_000, 6.0)
+FULL_WORKER_SWEEP = (1, 2, 4)
+SMOKE_WORKER_SWEEP = (1, 2)
+LAYOUT_REUSE_FACTOR = 2.0
 DELTA = 16
 NUM_CHORD_SETS = 2
 
@@ -66,6 +91,45 @@ def _time(fn, repeats: int = 2) -> float:
     return best
 
 
+def _tree_sha(result) -> str:
+    """Stable fingerprint of the built tree (the cross-process equality
+    token of the CI shard-invariance job)."""
+    return hashlib.sha1(
+        result.parent.tobytes() + result.depth.tobytes()
+    ).hexdigest()[:16]
+
+
+def _worker_counts(smoke: bool, cli_value: int | None) -> tuple[int, ...]:
+    """The sweep — or the single pinned count when the user chose one."""
+    if cli_value is not None or os.environ.get(WORKERS_ENV):
+        return (select_workers(cli_value),)
+    return SMOKE_WORKER_SWEEP if smoke else FULL_WORKER_SWEEP
+
+
+def _soa_run_seconds(graph, fr, workers: int, repeats: int, reuse: bool = True):
+    """Best-of-``repeats`` wall clock of one SoA rooting configuration."""
+    env_old = os.environ.get("REPRO_SOA_LAYOUT_REUSE")
+    if not reuse:
+        os.environ["REPRO_SOA_LAYOUT_REUSE"] = "0"
+    try:
+        result = run_soa_rooting(
+            graph, fr, rng=np.random.default_rng(1), workers=workers
+        )
+        seconds = _time(
+            lambda: run_soa_rooting(
+                graph, fr, rng=np.random.default_rng(1), workers=workers
+            ),
+            repeats,
+        )
+        return seconds, result
+    finally:
+        if not reuse:
+            if env_old is None:
+                os.environ.pop("REPRO_SOA_LAYOUT_REUSE", None)
+            else:
+                os.environ["REPRO_SOA_LAYOUT_REUSE"] = env_old
+
+
 def check_equivalence(n: int = 400) -> None:
     """Bit-for-bit three-tier agreement before timing anything."""
     graph = overlay_like_graph(n, seed=n)
@@ -82,22 +146,43 @@ def check_equivalence(n: int = 400) -> None:
         )
 
 
-def run_experiment(smoke: bool, engine_filter: str | None = None):
+def run_experiment(
+    smoke: bool,
+    engine_filter: str | None = None,
+    workers_cli: int | None = None,
+):
     check_equivalence()
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     soa_only = () if smoke else FULL_SOA_ONLY
     assert_n, assert_factor = SMOKE_ASSERT if smoke else FULL_ASSERT
+    worker_counts = _worker_counts(smoke, workers_cli)
 
     table = Table(
         "S3: SoA-tier rooting scaling (min-id flooding + BFS)",
-        ["n", "flood_rounds", "stack", "seconds", "msgs/sec"],
+        ["n", "flood_rounds", "stack", "workers", "seconds", "msgs/sec", "tree_sha"],
     )
     rows = {}
+    json_rows = []
+    checks = {}
 
-    def record(n, stack, seconds, total_messages):
+    def record(n, stack, workers, seconds, total_messages, sha):
         rate = total_messages / seconds if seconds > 0 else float("inf")
-        table.add(n, _flood_rounds(n), stack, round(seconds, 3), int(rate))
-        rows[(n, stack)] = seconds
+        table.add(
+            n, _flood_rounds(n), stack, workers or "-", round(seconds, 3),
+            int(rate), sha or "-",
+        )
+        rows[(n, stack, workers)] = seconds
+        json_rows.append(
+            {
+                "n": n,
+                "flood_rounds": _flood_rounds(n),
+                "stack": stack,
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "msgs_per_sec": int(rate),
+                "tree_sha": sha,
+            }
+        )
 
     for n in sizes:
         graph = overlay_like_graph(n, seed=n)
@@ -105,12 +190,15 @@ def run_experiment(smoke: bool, engine_filter: str | None = None):
         repeats = 1 if smoke else 2
 
         if engine_filter in (None, "soa"):
-            result = run_soa_rooting(graph, fr, rng=np.random.default_rng(1))
-            seconds = _time(
-                lambda: run_soa_rooting(graph, fr, rng=np.random.default_rng(1)),
-                repeats,
+            shas = {}
+            for workers in worker_counts:
+                seconds, result = _soa_run_seconds(graph, fr, workers, repeats)
+                sha = _tree_sha(result)
+                shas[workers] = sha
+                record(n, "soa", workers, seconds, result.metrics.total_messages, sha)
+            assert len(set(shas.values())) == 1, (
+                f"worker counts disagree on the tree at n={n}: {shas}"
             )
-            record(n, "soa", seconds, result.metrics.total_messages)
 
         if engine_filter in (None, "vectorized"):
             result = run_batch_rooting(graph, fr, rng=np.random.default_rng(1))
@@ -118,7 +206,10 @@ def run_experiment(smoke: bool, engine_filter: str | None = None):
                 lambda: run_batch_rooting(graph, fr, rng=np.random.default_rng(1)),
                 repeats=1,
             )
-            record(n, "batch-nodes", seconds, result.metrics.total_messages)
+            record(
+                n, "batch-nodes", None, seconds,
+                result.metrics.total_messages, _tree_sha(result),
+            )
 
         if engine_filter == "legacy":
             result = run_protocol_rooting(
@@ -130,31 +221,71 @@ def run_experiment(smoke: bool, engine_filter: str | None = None):
                 ),
                 repeats=1,
             )
-            record(n, "object-nodes", seconds, result.metrics.total_messages)
+            record(
+                n, "object-nodes", None, seconds,
+                result.metrics.total_messages, _tree_sha(result),
+            )
 
-    for n in soa_only:
-        # The n = 10⁶ demonstration: a scale the per-node tiers cannot
-        # reach in reasonable time.  The runner validates the tree spans
-        # with a unique root, so completing IS the correctness check.
-        graph = overlay_like_graph(n, seed=n)
-        fr = _flood_rounds(n)
-        start = time.perf_counter()
-        result = run_soa_rooting(graph, fr, rng=np.random.default_rng(1))
-        record(n, "soa", time.perf_counter() - start, result.metrics.total_messages)
+    if engine_filter in (None, "soa"):
+        # The layout-reuse check: the persistent receiver-sorted layout
+        # vs. the pre-shard per-round re-sort (REPRO_SOA_LAYOUT_REUSE=0)
+        # on the identical run.  Full mode measures at n = 10⁶ where the
+        # sort dominates and enforces the ISSUE 6 ≥ 2× acceptance bar;
+        # smoke records the ratio at its top size without asserting.
+        reuse_n = soa_only[0] if soa_only else max(sizes)
+        graph = overlay_like_graph(reuse_n, seed=reuse_n)
+        fr = _flood_rounds(reuse_n)
+        with_reuse, result = _soa_run_seconds(graph, fr, workers=1, repeats=1)
+        record(
+            reuse_n, "soa", 1, with_reuse,
+            result.metrics.total_messages, _tree_sha(result),
+        )
         assert result.metrics.total_drops == 0
+        without_reuse, control = _soa_run_seconds(
+            graph, fr, workers=1, repeats=1, reuse=False
+        )
+        record(
+            reuse_n, "soa-resort-every-round", 1, without_reuse,
+            control.metrics.total_messages, _tree_sha(control),
+        )
+        assert _tree_sha(control) == _tree_sha(result), (
+            "layout reuse changed the tree — the toggle must be timing-only"
+        )
+        ratio = without_reuse / with_reuse
+        checks["layout_reuse_speedup"] = {
+            "n": reuse_n,
+            "seconds_with_reuse": round(with_reuse, 4),
+            "seconds_without_reuse": round(without_reuse, 4),
+            "speedup": round(ratio, 2),
+            "threshold": None if smoke else LAYOUT_REUSE_FACTOR,
+        }
+        print(
+            f"n={reuse_n}: persistent layout vs per-round re-sort "
+            f"speedup {ratio:.2f}x"
+        )
+        if not smoke:
+            assert ratio >= LAYOUT_REUSE_FACTOR, (
+                f"layout reuse only {ratio:.2f}x over per-round re-sort at "
+                f"n={reuse_n} (need >= {LAYOUT_REUSE_FACTOR}x)"
+            )
 
     table.show()
 
-    if engine_filter is None:
-        t_soa = rows[(assert_n, "soa")]
-        t_batch = rows[(assert_n, "batch-nodes")]
+    if engine_filter is None and 1 in worker_counts:
+        t_soa = rows[(assert_n, "soa", 1)]
+        t_batch = rows[(assert_n, "batch-nodes", None)]
         speedup = t_batch / t_soa
+        checks["soa_over_batch_speedup"] = {
+            "n": assert_n,
+            "speedup": round(speedup, 2),
+            "threshold": assert_factor,
+        }
         print(f"n={assert_n}: SoA-over-batch (engine-controlled) speedup {speedup:.1f}x")
         assert speedup >= assert_factor, (
             f"SoA tier only {speedup:.1f}x faster than batch nodes at "
             f"n={assert_n} (need >= {assert_factor}x)"
         )
-    return rows
+    return rows, json_rows, checks, worker_counts
 
 
 def bench_s3_soa_scaling(benchmark):
@@ -169,9 +300,33 @@ def main(argv=None) -> int:
         "--smoke", action="store_true", help="~30s CI variant: small sizes, 6x assert"
     )
     add_engine_argument(parser, choices=TIER_CHOICES)
+    add_workers_argument(parser)
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="write the machine-readable repro-bench/v1 payload here",
+    )
     args = parser.parse_args(argv)
     engine_filter = tier_filter("engine", args.engine)
-    run_experiment(smoke=args.smoke, engine_filter=engine_filter)
+    rows, json_rows, checks, worker_counts = run_experiment(
+        smoke=args.smoke, engine_filter=engine_filter, workers_cli=args.workers
+    )
+    if args.json:
+        from _common import bench_payload, write_bench_json
+
+        payload = bench_payload(
+            "s3_soa_scaling",
+            config={
+                "smoke": args.smoke,
+                "engine_filter": engine_filter,
+                "worker_counts": list(worker_counts),
+                "delta": DELTA,
+                "chords": NUM_CHORD_SETS,
+            },
+            rows=json_rows,
+            checks=checks,
+        )
+        write_bench_json(args.json, payload)
     return 0
 
 

@@ -32,7 +32,6 @@ restricts the timed stacks; ``--json PATH`` sets the result file).
 """
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -238,21 +237,25 @@ def main(argv=None) -> int:
     engine_filter = tier_filter("engine", args.engine, choices=SYNCHRONISER_CHOICES)
     rows, speedup = run_experiment(smoke=args.smoke, engine_filter=engine_filter)
     grid_payload = run_scenario_grid(args.grid)
-    payload = {
-        "bench": "s4_scenario_scaling",
-        "smoke": args.smoke,
-        "max_delay": MAX_DELAY,
-        "timing": [
+    from _common import bench_payload, write_bench_json
+
+    payload = bench_payload(
+        "s4_scenario_scaling",
+        config={
+            "smoke": args.smoke,
+            "engine_filter": engine_filter,
+            "max_delay": MAX_DELAY,
+        },
+        rows=[
             {"n": n, "synchroniser": stack, "seconds": round(secs, 4)}
             for (n, stack), secs in sorted(rows.items())
         ],
-        "soa_speedup_at_assert_n": round(speedup, 2) if speedup else None,
-        "grid": grid_payload,
-    }
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.json}")
+        checks={
+            "soa_speedup_at_assert_n": round(speedup, 2) if speedup else None,
+        },
+        extra={"grid": grid_payload},
+    )
+    write_bench_json(args.json, payload)
     return 0
 
 

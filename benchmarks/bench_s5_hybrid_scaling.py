@@ -27,18 +27,27 @@ broadcast dominates:
 Run standalone:
 ``PYTHONPATH=src python benchmarks/bench_s5_hybrid_scaling.py``
 (``--smoke`` for the ~60 s CI variant; ``--hybrid`` restricts the timed
-tiers, also via ``REPRO_HYBRID``; ``--json PATH`` sets the result file).
+tiers, also via ``REPRO_HYBRID``; ``--workers N`` shards the SoA delivery
+tail of the pipeline networks via ``REPRO_WORKERS`` — bit-for-bit
+identical results at every count; ``--json PATH`` sets the result file).
 """
 
 import argparse
-import json
+import os
 import sys
 import time
 
 import numpy as np
 
 from repro.core.bfs import build_bfs_forest
-from repro.experiments.harness import HYBRID_CHOICES, Table, tier_filter
+from repro.experiments.harness import (
+    HYBRID_CHOICES,
+    Table,
+    add_workers_argument,
+    select_workers,
+    tier_filter,
+)
+from repro.net.shard import WORKERS_ENV
 from repro.graphs import generators as G
 from repro.graphs.portgraph import PortGraph
 from repro.hybrid.components import connected_components_hybrid
@@ -249,6 +258,7 @@ def main(argv=None) -> int:
         default=None,
         help="restrict the timed tiers (default: REPRO_HYBRID env var or both)",
     )
+    add_workers_argument(parser)
     parser.add_argument(
         "--json",
         default="bench_s5_results.json",
@@ -256,29 +266,40 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     hybrid_filter = tier_filter("hybrid", args.hybrid)
+    workers = select_workers(args.workers)
+    if workers > 1:
+        # The soa_pipeline constructs its networks internally; the env
+        # var is the documented channel for sharding them (results are
+        # bit-for-bit identical at every count).
+        os.environ[WORKERS_ENV] = str(workers)
     rows, speedup = run_experiment(smoke=args.smoke, hybrid_filter=hybrid_filter)
     rebuild_rows = []
     if hybrid_filter in (None, "soa"):
         rebuild_rows = run_churn_rebuild_sweep(smoke=args.smoke)
-    payload = {
-        "bench": "s5_hybrid_scaling",
-        "smoke": args.smoke,
-        "overlay_params": {
-            "delta": OVERLAY_PARAMS.delta,
-            "ell": OVERLAY_PARAMS.ell,
-            "num_evolutions": OVERLAY_PARAMS.num_evolutions,
+    from _common import bench_payload, write_bench_json
+
+    payload = bench_payload(
+        "s5_hybrid_scaling",
+        config={
+            "smoke": args.smoke,
+            "hybrid_filter": hybrid_filter,
+            "workers": workers,
+            "overlay_params": {
+                "delta": OVERLAY_PARAMS.delta,
+                "ell": OVERLAY_PARAMS.ell,
+                "num_evolutions": OVERLAY_PARAMS.num_evolutions,
+            },
         },
-        "timing": [
+        rows=[
             {"n": n, "tier": tier, "stage_seconds": round(secs, 4)}
             for (n, tier), secs in sorted(rows.items())
         ],
-        "stage_speedup_at_assert_n": round(speedup, 2) if speedup else None,
-        "churn_rebuild": rebuild_rows,
-    }
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.json}")
+        checks={
+            "stage_speedup_at_assert_n": round(speedup, 2) if speedup else None,
+        },
+        extra={"churn_rebuild": rebuild_rows},
+    )
+    write_bench_json(args.json, payload)
     return 0
 
 

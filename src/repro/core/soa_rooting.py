@@ -190,6 +190,7 @@ def run_soa_rooting(
     capacity: CapacityPolicy | None = None,
     max_rounds: int | None = None,
     engine: str = "vectorized",
+    workers: int | None = None,
 ) -> TreeProtocolResult:
     """SoA counterpart of :func:`~repro.core.protocol_tree.run_batch_rooting`.
 
@@ -198,7 +199,9 @@ def run_soa_rooting(
     the same seed — only the execution tier (one call for all nodes over
     shared columns) differs.  The SoA tier runs exclusively on the
     vectorized delivery engine; ``engine`` is accepted for API symmetry
-    and rejected for anything else.
+    and rejected for anything else.  ``workers`` shards the delivery
+    tail's receiver sort (``None`` → ``REPRO_WORKERS``); every worker
+    count produces the identical execution, fault streams included.
     """
     if engine != "vectorized":
         raise ValueError(
@@ -208,7 +211,7 @@ def run_soa_rooting(
         graph, flood_rounds, rng, capacity, max_rounds
     )
     cls = SoARootingClass(*csr_neighbors(graph), flood_rounds)
-    network = SyncNetwork(cls, capacity, rng, engine=engine)
+    network = SyncNetwork(cls, capacity, rng, engine=engine, workers=workers)
     metrics = network.run(max_rounds=max_rounds)
     return collect_soa_result(cls, metrics)
 

@@ -33,7 +33,9 @@ __all__ = [
     "tier_filter",
     "select_engine",
     "select_rooting",
+    "select_workers",
     "add_engine_argument",
+    "add_workers_argument",
 ]
 
 #: Delivery engines of :class:`repro.net.network.SyncNetwork` that the
@@ -133,6 +135,33 @@ def add_engine_argument(parser, choices: tuple[str, ...] = ENGINE_CHOICES) -> No
         choices=choices,
         default=None,
         help="network delivery engine (default: REPRO_ENGINE env var or 'vectorized')",
+    )
+
+
+def select_workers(cli_value: int | None = None) -> int:
+    """Resolve the sharded-delivery worker count for the SoA tier.
+
+    Precedence mirrors :func:`select_tier`: explicit CLI value >
+    ``REPRO_WORKERS`` > 1.  A single source of truth with the network's
+    own resolution (:func:`repro.net.shard.resolve_workers`), so a bench
+    and the networks it constructs can never disagree on the count.
+    """
+    from repro.net.shard import resolve_workers
+
+    return resolve_workers(cli_value)
+
+
+def add_workers_argument(parser) -> None:
+    """Attach the standard ``--workers`` flag to an argparse parser."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "shard the SoA delivery tail across this many workers "
+            "(default: REPRO_WORKERS env var or 1; results are "
+            "bit-for-bit identical at every count)"
+        ),
     )
 
 

@@ -78,6 +78,7 @@ def run_with_asynchrony(
     engine: str = "vectorized",
     require_quiescence: bool = True,
     fault_hook=None,
+    workers: int | None = None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Run a protocol under random message delays with a synchroniser.
 
@@ -104,7 +105,9 @@ def run_with_asynchrony(
     whose flat delay queue materialises per-message release times without
     any per-node Python work — bit-for-bit the same execution, at SoA
     speed.  ``fault_hook`` installs an oblivious message adversary on the
-    network (see :class:`SyncNetwork`).
+    network (see :class:`SyncNetwork`).  ``workers`` shards the SoA
+    delivery tail (``None`` → ``REPRO_WORKERS``); the per-node tiers
+    ignore it, and every worker count yields the identical execution.
 
     Returns the timing report and the (already run) network, whose nodes
     hold the protocol's results.
@@ -137,6 +140,7 @@ def run_with_asynchrony(
             engine=engine,
             require_quiescence=require_quiescence,
             fault_hook=fault_hook,
+            workers=workers,
         )
     network = SyncNetwork(nodes, capacity, rng, engine=engine, fault_hook=fault_hook)
     observed = 0

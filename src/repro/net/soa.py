@@ -34,13 +34,23 @@ accounting) without materialising any per-node structure.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.net.batch import KINDS, MessageBatch
 
-__all__ = ["SoAInbox", "SoAProtocolClass"]
+__all__ = ["DEBUG_VALIDATE", "SoAInbox", "SoAProtocolClass"]
 
 _NO_COLUMN = np.empty(0, dtype=np.int64)
+
+#: Debug-mode column validation (set ``REPRO_DEBUG_SOA=1``, or flip the
+#: module flag in tests).  ``SoAInbox.concat`` documents "no re-sorting" —
+#: with the flag on it *checks* that every input is itself receiver-sorted,
+#: so a caller concatenating genuinely unordered columns (and then not
+#: re-sorting, as the delay queue does) fails loudly instead of handing a
+#: protocol class segments that straddle receiver groups.
+DEBUG_VALIDATE = os.environ.get("REPRO_DEBUG_SOA", "") not in ("", "0")
 
 
 class SoAInbox:
@@ -56,14 +66,21 @@ class SoAInbox:
     second payload lane (``None`` when absent for the whole round).
     """
 
-    __slots__ = ("senders", "receivers", "kinds", "payloads", "payloads2")
+    __slots__ = ("senders", "receivers", "kinds", "payloads", "payloads2", "_segments")
 
-    def __init__(self, senders, receivers, kinds, payloads, payloads2=None) -> None:
+    def __init__(
+        self, senders, receivers, kinds, payloads, payloads2=None, segments=None
+    ) -> None:
         self.senders = senders
         self.receivers = receivers
         self.kinds = kinds
         self.payloads = payloads
         self.payloads2 = payloads2
+        # Optional precomputed ``(starts, nodes)`` receiver segments —
+        # the delivery tail already knows them from its bincount, which
+        # saves protocol classes the O(m) boundary scan per round.
+        # Memoised on first computation otherwise.
+        self._segments = segments
 
     @classmethod
     def empty(cls) -> "SoAInbox":
@@ -112,16 +129,34 @@ class SoAInbox:
         )
 
     @classmethod
-    def concat(cls, inboxes: list["SoAInbox"]) -> "SoAInbox":
+    def concat(
+        cls, inboxes: list["SoAInbox"], *, check: bool | None = None
+    ) -> "SoAInbox":
         """Concatenate inboxes column-wise (no re-sorting).
 
         Uniform scalar kinds stay scalar; mixed kinds materialise a
         column.  Lane-less traffic zero-fills ``payloads2`` when some
         input carries it — the :class:`~repro.net.batch.MessageBatch`
         convention.  Callers own the receiver ordering of the result
-        (the delay queue re-sorts on release).
+        (the delay queue re-sorts on release).  With
+        :data:`DEBUG_VALIDATE` on (or ``check=True``), each *input* is
+        checked to be receiver-sorted — the documented precondition that
+        makes the concatenation a sequence of well-formed segments.  A
+        caller whose accumulated buffer is legitimately segment-ordered
+        rather than globally sorted (the delay queue's in-flight columns,
+        which it re-sorts on release) opts out with ``check=False`` and
+        asserts its own entry precondition instead.
         """
         inboxes = [b for b in inboxes if len(b)]
+        if DEBUG_VALIDATE if check is None else check:
+            for b in inboxes:
+                r = b.receivers
+                if r.shape[0] > 1 and bool((r[1:] < r[:-1]).any()):
+                    raise ValueError(
+                        "SoAInbox.concat input is not receiver-sorted; "
+                        "concat never re-sorts — sort inputs first (the "
+                        "delay queue re-sorts its *release*, not its pushes)"
+                    )
         if not inboxes:
             return _EMPTY_INBOX
         if len(inboxes) == 1:
@@ -163,14 +198,23 @@ class SoAInbox:
     # ------------------------------------------------------------------
     def segments(self) -> tuple[np.ndarray, np.ndarray]:
         """``(starts, nodes)``: offsets of each receiver group in the
-        sorted columns and the node index owning each group."""
+        sorted columns and the node index owning each group.
+
+        Computed once and memoised (or handed in precomputed by the
+        delivery tail); every per-receiver reduction shares it."""
+        seg = self._segments
+        if seg is not None:
+            return seg
         receivers = self.receivers
         if receivers.shape[0] == 0:
-            return _NO_COLUMN, _NO_COLUMN
-        starts = np.flatnonzero(
-            np.concatenate([[True], receivers[1:] != receivers[:-1]])
-        )
-        return starts, receivers[starts]
+            seg = (_NO_COLUMN, _NO_COLUMN)
+        else:
+            starts = np.flatnonzero(
+                np.concatenate([[True], receivers[1:] != receivers[:-1]])
+            )
+            seg = (starts, receivers[starts])
+        self._segments = seg
+        return seg
 
     def min_by_receiver(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-receiver minimum of ``values`` (parallel to the columns).

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.net import soa as _soa
 from repro.net.asynchrony import AsyncReport
 from repro.net.network import CapacityPolicy, SyncNetwork
 from repro.net.soa import SoAInbox, SoAProtocolClass
@@ -78,10 +79,20 @@ class SoADelayQueue:
             return
         if release.shape[0] != len(inbox):
             raise ValueError("release-time column must match the inbox length")
+        if _soa.DEBUG_VALIDATE:
+            r = inbox.receivers
+            if r.shape[0] > 1 and bool((r[1:] < r[:-1]).any()):
+                raise ValueError(
+                    "SoADelayQueue.push input is not receiver-sorted; pushes "
+                    "must be staged (receiver-sorted) inboxes — only the "
+                    "*release* re-sorts"
+                )
         self._release = (
             release if len(self) == 0 else np.concatenate([self._release, release])
         )
-        self._inbox = SoAInbox.concat([self._inbox, inbox])
+        # check=False: the accumulated buffer is segment-ordered (pushes
+        # back to back), not globally receiver-sorted — release re-sorts.
+        self._inbox = SoAInbox.concat([self._inbox, inbox], check=False)
         self._pushes += 1
 
     # ------------------------------------------------------------------
@@ -146,6 +157,7 @@ def run_soa_synchroniser(
     engine: str = "vectorized",
     require_quiescence: bool = True,
     fault_hook=None,
+    workers: int | None = None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Drive an SoA population under the footnote-2 synchroniser.
 
@@ -156,8 +168,16 @@ def run_soa_synchroniser(
     push, one barrier release.  No per-node Python work anywhere, which
     is what makes delay/churn sweeps practical at ``n ≥ 10⁵``
     (``benchmarks/bench_s4_scenario_scaling.py``).
+
+    ``workers`` shards the delivery tail (see :mod:`repro.net.shard`);
+    the fault hook and the delay queue sit *outside* the sharded sort —
+    the hook sees the canonical pre-sort stream and the queue the merged
+    receiver-sorted columns — so every worker count reproduces the
+    identical execution, delay draws and fault streams included.
     """
-    network = SyncNetwork(soa_class, capacity, rng, engine=engine, fault_hook=fault_hook)
+    network = SyncNetwork(
+        soa_class, capacity, rng, engine=engine, fault_hook=fault_hook, workers=workers
+    )
     queue = SoADelayQueue(soa_class.n)
     clock = 0
     observed = 0

@@ -149,6 +149,94 @@ class TestMaskIndexParity:
             run_chatter(engine, lambda r, s, d: np.ones(1, dtype=bool))
 
 
+class GappyChatter(ProtocolNode):
+    """Chatter over an explicit (gappy, unsorted-at-insertion) id set."""
+
+    def __init__(self, node_id: int, ids: tuple[int, ...], rounds: int) -> None:
+        super().__init__(node_id)
+        self.ids = ids
+        self.rounds = rounds
+        self.received: list[tuple[int, int, int]] = []
+
+    def on_round(self, round_no, inbox):
+        self.received.extend(
+            (round_no, m.sender, int(m.payload)) for m in inbox
+        )
+        if round_no >= self.rounds:
+            return []
+        return [
+            Message(self.node_id, v, "chat", round_no)
+            for v in self.ids
+            if v != self.node_id
+        ]
+
+    def is_idle(self):
+        return True
+
+
+class TestGappyNodeIdRegression:
+    """ISSUE 6's cross-engine pin: non-contiguous node ids inserted out
+    of order exercise the id-mapping path of the vectorized tail (raw ids
+    → dense indices → raw ids), where a fault hook composed with capacity
+    truncation historically had the most room to diverge from the
+    per-message legacy engine.  The matrix pins inbox contents,
+    ``fault_drops``, and the full metrics dict as engine-identical."""
+
+    IDS = (12, 0, 30, 7, 22, 3, 21, 15)
+
+    @classmethod
+    def _run(cls, engine, hook, seed):
+        nodes = {v: GappyChatter(v, cls.IDS, ROUNDS) for v in cls.IDS}
+        network = SyncNetwork(
+            nodes,
+            CapacityPolicy(4, 4),
+            np.random.default_rng(seed),
+            engine=engine,
+            fault_hook=hook,
+        )
+        for _ in range(ROUNDS + 1):
+            network.run_round()
+        return {v: nodes[v].received for v in cls.IDS}, network.metrics.as_dict()
+
+    @staticmethod
+    def _mask_hook(round_no, senders, receivers):
+        # Hooks see *raw* ids on both engines — the parity below would
+        # break immediately if one engine passed dense indices instead.
+        return (senders + receivers + round_no) % 3 != 0
+
+    @staticmethod
+    def _truncation_hook(round_no, senders, receivers):
+        return segmented_keep_indices(
+            receivers, 3, np.random.default_rng(round_no)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mask_hook_cross_engine(self, seed):
+        legacy = self._run("legacy", self._mask_hook, seed)
+        vectorized = self._run("vectorized", self._mask_hook, seed)
+        assert legacy[1]["fault_drops"] == vectorized[1]["fault_drops"]
+        assert legacy == vectorized
+        assert legacy[1]["fault_drops"] > 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncation_hook_cross_engine(self, seed):
+        legacy = self._run("legacy", self._truncation_hook, seed)
+        vectorized = self._run("vectorized", self._truncation_hook, seed)
+        assert legacy == vectorized
+        assert legacy[1]["fault_drops"] > 0
+
+    def test_hook_receives_raw_ids(self):
+        seen: set[int] = set()
+
+        def spy(round_no, senders, receivers):
+            seen.update(np.asarray(senders).tolist())
+            seen.update(np.asarray(receivers).tolist())
+            return np.ones(np.asarray(senders).shape[0], dtype=bool)
+
+        self._run("vectorized", spy, seed=0)
+        assert seen == set(self.IDS)
+
+
 class TestFaultDropsCrossEngineRegression:
     """Acceptance criterion: identical ``fault_drops`` for identical
     seeds/specs on both delivery engines (and with capacity enforcement

@@ -198,3 +198,42 @@ class TestEnvPlumbingMatrix:
         monkeypatch.setenv("REPRO_HYBRID", "typo")
         with pytest.raises(ValueError, match="hybrid must be one of"):
             tier_filter("hybrid")
+
+
+class TestSelectWorkers:
+    """The worker-count resolver shares one source of truth with the
+    network (``repro.net.shard.resolve_workers``), CLI > env > 1."""
+
+    def test_default_and_env(self, monkeypatch):
+        from repro.experiments.harness import select_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert select_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert select_workers() == 3
+
+    def test_cli_beats_env(self, monkeypatch):
+        from repro.experiments.harness import select_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert select_workers(2) == 2
+
+    def test_garbage_raises(self, monkeypatch):
+        from repro.experiments.harness import select_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            select_workers()
+        monkeypatch.delenv("REPRO_WORKERS")
+        with pytest.raises(ValueError, match=">= 1"):
+            select_workers(-1)
+
+    def test_argparse_plumbing(self):
+        import argparse
+
+        from repro.experiments.harness import add_workers_argument
+
+        parser = argparse.ArgumentParser()
+        add_workers_argument(parser)
+        assert parser.parse_args([]).workers is None
+        assert parser.parse_args(["--workers", "4"]).workers == 4
