@@ -58,7 +58,7 @@ from repro.experiments.harness import (
     tier_filter,
 )
 from repro.graphs.portgraph import PortGraph
-from repro.net.shard import WORKERS_ENV
+from repro.net.shard import WORKERS_ENV, effective_workers
 
 FULL_SIZES = (10_000, 100_000)
 FULL_SOA_ONLY = (1_000_000,)
@@ -178,6 +178,9 @@ def run_experiment(
                 "flood_rounds": _flood_rounds(n),
                 "stack": stack,
                 "workers": workers,
+                "workers_effective": (
+                    effective_workers(workers) if workers else workers
+                ),
                 "seconds": round(seconds, 4),
                 "msgs_per_sec": int(rate),
                 "tree_sha": sha,

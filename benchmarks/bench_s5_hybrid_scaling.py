@@ -47,7 +47,7 @@ from repro.experiments.harness import (
     select_workers,
     tier_filter,
 )
-from repro.net.shard import WORKERS_ENV
+from repro.net.shard import WORKERS_ENV, effective_workers
 from repro.graphs import generators as G
 from repro.graphs.portgraph import PortGraph
 from repro.hybrid.components import connected_components_hybrid
@@ -284,6 +284,7 @@ def main(argv=None) -> int:
             "smoke": args.smoke,
             "hybrid_filter": hybrid_filter,
             "workers": workers,
+            "workers_effective": effective_workers(workers),
             "overlay_params": {
                 "delta": OVERLAY_PARAMS.delta,
                 "ell": OVERLAY_PARAMS.ell,

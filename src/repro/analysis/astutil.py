@@ -1,0 +1,56 @@
+"""Small shared AST helpers for repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["attr_chain", "call_name", "contains_rng_draw", "RNG_NAME_HINTS"]
+
+#: Variable-name heuristics for "this is a numpy Generator": the canonical
+#: parameter name used throughout the engine plus the derived-stream
+#: convention (``delay_rng``, ``fault_rng``, ...).
+RNG_NAME_HINTS = ("rng",)
+
+
+def attr_chain(node: ast.AST) -> str | None:
+    """Dotted name of an attribute chain (``np.random.default_rng``), or
+    ``None`` when the expression is not a plain name/attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's target, or ``None``."""
+    return attr_chain(node.func)
+
+
+def is_rng_name(name: str) -> bool:
+    """Heuristic: does ``name`` denote a ``np.random.Generator``?"""
+    return name in RNG_NAME_HINTS or name.endswith("_rng")
+
+
+def contains_rng_draw(node: ast.AST) -> str | None:
+    """Dotted call name of the first RNG *draw* inside ``node``'s subtree
+    (``rng.integers(...)``, ``delay_rng.choice(...)``), else ``None``.
+
+    ``rng.spawn()`` is the sanctioned derivation and is not a draw.
+    """
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        chain = call_name(sub)
+        if chain is None or "." not in chain:
+            continue
+        owner, method = chain.rsplit(".", 1)
+        if method == "spawn":
+            continue
+        base = owner.split(".")[-1]
+        if is_rng_name(base):
+            return chain
+    return None

@@ -1,0 +1,80 @@
+"""repro-lint baseline: accepted pre-existing violations.
+
+The lint gate fails only on *new* violations: hits not accounted for by
+the committed baseline file (``repro-lint-baseline.json`` at the repo
+root).  The baseline is a fingerprint multiset — each entry keys
+``path::code::stripped-line-text`` with a count — so violations survive
+unrelated line-number drift, while editing a flagged line (or adding a
+second identical one) resurfaces it.  Shrinking the baseline is always
+safe; growing it is a reviewed decision (``--write-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.rules import Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "partition_new",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "repro-lint-baseline.json"
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline fingerprint multiset (empty when missing)."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in "
+            f"{path} (expected {BASELINE_VERSION})"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline entries must be a mapping in {path}")
+    return Counter({str(k): int(v) for k, v in entries.items()})
+
+
+def write_baseline(path: Path, violations: list[Violation]) -> None:
+    """Write the current violation set as the new baseline
+    (deterministic: sorted keys, trailing newline)."""
+    counts = Counter(v.fingerprint() for v in violations)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {k: counts[k] for k in sorted(counts)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition_new(
+    violations: list[Violation], baseline: Counter
+) -> tuple[list[Violation], list[Violation]]:
+    """Split into ``(new, accepted)`` against the baseline multiset.
+
+    Violations are consumed in sorted order: for each fingerprint, the
+    first ``baseline[fp]`` occurrences are accepted, the rest are new —
+    deterministic, so the gate never flaps between equal hits.
+    """
+    seen: Counter = Counter()
+    new: list[Violation] = []
+    accepted: list[Violation] = []
+    for violation in sorted(violations):
+        fp = violation.fingerprint()
+        seen[fp] += 1
+        if seen[fp] <= baseline.get(fp, 0):
+            accepted.append(violation)
+        else:
+            new.append(violation)
+    return new, accepted

@@ -1,0 +1,193 @@
+"""repro-lint command line: ``python -m repro.analysis [paths ...]``.
+
+Exit status is the CI contract: 0 when no violations beyond the committed
+baseline, 1 when new violations exist (or any file fails to parse), 2 on
+usage errors.  ``--format json`` emits a stable machine-readable report
+(schema ``repro-lint/v1``) that the CI job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    partition_new,
+    write_baseline,
+)
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import all_rules
+
+__all__ = ["main", "REPORT_SCHEMA", "DEFAULT_PATHS"]
+
+REPORT_SCHEMA = "repro-lint/v1"
+
+#: The full tree: engine sources plus everything that drives them.
+DEFAULT_PATHS = ("src", "benchmarks", "examples", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: determinism-contract static analysis for the "
+            "three-tier engine (see docs/contracts.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root that paths and the baseline resolve against (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every violation is treated as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current violations as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file as well as stdout summary",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and their contracts, then exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.code}  {cls.name}")
+        lines.append(f"    {cls.description}")
+        lines.append(f"    contract: {cls.contract}")
+    return "\n".join(lines)
+
+
+def _json_report(violations, new, baseline_counts) -> dict:
+    by_code = Counter(v.code for v in violations)
+    return {
+        "schema": REPORT_SCHEMA,
+        "rules": {
+            cls.code: {
+                "name": cls.name,
+                "description": cls.description,
+                "contract": cls.contract,
+            }
+            for cls in all_rules()
+        },
+        "violations": [v.as_dict() for v in sorted(violations)],
+        "new": [v.as_dict() for v in sorted(new)],
+        "counts": {
+            "total": len(violations),
+            "new": len(new),
+            "baselined": len(violations) - len(new),
+            "baseline_entries": sum(baseline_counts.values()),
+            "by_code": {code: by_code[code] for code in sorted(by_code)},
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root).resolve()
+    raw_paths = args.paths or [p for p in DEFAULT_PATHS if (root / p).exists()]
+    paths = []
+    for raw in raw_paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            parser.error(f"path does not exist: {raw}")
+        paths.append(path)
+    if not paths:
+        parser.error("nothing to lint: no paths given and no defaults exist")
+
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        known = {cls.code for cls in all_rules()}
+        unknown = select - known
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+
+    violations = analyze_paths(paths, root, select=select)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    if args.write_baseline:
+        write_baseline(baseline_path, violations)
+        print(
+            f"wrote {baseline_path} ({len(violations)} accepted violation(s))"
+        )
+        return 0
+
+    baseline_counts = Counter() if args.no_baseline else load_baseline(baseline_path)
+    new, accepted = partition_new(violations, baseline_counts)
+
+    if args.format == "json":
+        report = json.dumps(
+            _json_report(violations, new, baseline_counts), indent=2, sort_keys=True
+        )
+    else:
+        lines = [v.render() for v in sorted(new)]
+        if accepted:
+            lines.append(f"({len(accepted)} baselined violation(s) not shown)")
+        lines.append(
+            f"repro-lint: {len(violations)} violation(s), {len(new)} new"
+        )
+        report = "\n".join(lines)
+
+    if args.output:
+        out_path = Path(args.output)
+        out_path.write_text(report + "\n", encoding="utf-8")
+        print(f"wrote {out_path}")
+        if args.format == "human":
+            print(report.splitlines()[-1])
+    else:
+        print(report)
+
+    return 1 if new else 0

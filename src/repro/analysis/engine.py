@@ -1,0 +1,128 @@
+"""repro-lint analysis engine: one AST walk drives every rule.
+
+The engine parses each file once, instantiates one checker per registered
+rule, and dispatches AST nodes to the checkers' ``visit_<NodeType>``
+hooks during a single depth-first traversal.  Scope structure
+(function/class nesting) is maintained on the shared
+:class:`~repro.analysis.rules.FileContext` so rules can track
+per-function state (fresh-array bindings, view aliases) without walking
+anything themselves; when a function scope closes, checkers exposing
+``exit_function`` are notified.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.rules import FileContext, Rule, Violation, all_rules
+
+__all__ = ["analyze_source", "analyze_file", "analyze_paths", "iter_python_files"]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "node_modules", ".pytest_cache"}
+
+
+class _Walker:
+    """Single-pass dispatcher: node-type name → interested checkers."""
+
+    def __init__(self, checkers: list[Rule], ctx: FileContext) -> None:
+        self.ctx = ctx
+        self._handlers: dict[str, list] = {}
+        self._exit_function = [
+            c.exit_function for c in checkers if hasattr(c, "exit_function")
+        ]
+        for checker in checkers:
+            for attr in dir(type(checker)):
+                if attr.startswith("visit_"):
+                    self._handlers.setdefault(attr[6:], []).append(
+                        getattr(checker, attr)
+                    )
+
+    def walk(self, node: ast.AST) -> None:
+        handlers = self._handlers.get(type(node).__name__)
+        if handlers:
+            for handler in handlers:
+                handler(node)
+        is_scope = isinstance(node, _SCOPE_NODES)
+        if is_scope:
+            self.ctx.scope_stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+        if is_scope:
+            self.ctx.scope_stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for hook in self._exit_function:
+                    hook(node)
+
+
+def analyze_source(
+    source: str,
+    rel_path: str = "<string>",
+    select: set[str] | None = None,
+) -> list[Violation]:
+    """Lint one source string; returns sorted violations.
+
+    ``select`` restricts to a subset of rule codes (all when ``None``).
+    Files that fail to parse yield a single ``RL000`` syntax violation
+    rather than aborting the run — a tree with a broken file should fail
+    lint loudly, not crash it.
+    """
+    lines = source.splitlines()
+    ctx = FileContext(rel_path, lines)
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        ctx.violations.append(
+            Violation(
+                rel_path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "RL000",
+                f"syntax error: {exc.msg}",
+                line_text="",
+            )
+        )
+        return ctx.violations
+    checkers = [
+        cls(ctx) for cls in all_rules() if select is None or cls.code in select
+    ]
+    _Walker(checkers, ctx).walk(tree)
+    return sorted(ctx.violations)
+
+
+def analyze_file(
+    path: Path, root: Path, select: set[str] | None = None
+) -> list[Violation]:
+    rel = path.resolve().relative_to(root.resolve()).as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Violation(rel, 1, 0, "RL000", f"unreadable file: {exc}")]
+    return analyze_source(source, rel_path=rel, select=select)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    seen.add(sub.resolve())
+        elif path.suffix == ".py":
+            seen.add(path.resolve())
+    return sorted(seen)
+
+
+def analyze_paths(
+    paths: list[Path], root: Path, select: set[str] | None = None
+) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths`` (relative paths are rendered
+    against ``root``, the repo checkout)."""
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(analyze_file(file_path, root, select=select))
+    return sorted(violations)

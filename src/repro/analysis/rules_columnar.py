@@ -1,0 +1,285 @@
+"""Columnar-contract rules (RL3xx): shared delivery columns stay intact.
+
+The delivery tail caches and re-serves receiver-sorted layouts keyed by
+the *identity* of protocol-emitted column objects, and the staged
+:class:`~repro.net.soa.SoAInbox` hands those columns to every consumer as
+views.  In-place mutation of a shared column — directly, or through
+another numpy view of the same base (the PR 6 stale-permutation bug) —
+silently misdelivers messages: the cache's permutation no longer matches
+the values underneath it.  The runtime guard is the value-verified layout
+cache plus the ``REPRO_SANITIZE=1`` asserts; these rules catch the write
+at review time.
+
+The lanes are ``int64`` end to end (``docs/engine.md``): a narrowing
+``astype``/``dtype=`` on a column silently truncates ids and payloads at
+scale, so it is flagged in engine paths.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import attr_chain, call_name
+from repro.analysis.rules import Rule, register
+
+__all__ = ["SharedColumnWrite", "ViewAliasWrite", "DtypeNarrowing"]
+
+#: Attribute names of the shared message-column objects
+#: (:class:`MessageBatch` / :class:`SoAInbox` lanes).
+SHARED_COLUMN_ATTRS = {"senders", "receivers", "payloads", "payloads2", "kinds"}
+
+#: Flat-column local names used by the delivery tail and its callers.
+SHARED_COLUMN_NAMES = {
+    "rcv_all",
+    "snd_all",
+    "kind_all",
+    "pay_all",
+    "pay2_all",
+    "rcv_idx",
+    "rcv_s",
+    "snd_s",
+    "kind_s",
+    "pay_s",
+    "pay2_s",
+}
+
+#: Name suffixes treated as "columnar" for the view-alias rule.
+_COLUMN_SUFFIXES = ("_s", "_all", "_col", "_cols", "_column", "_columns", "_idx")
+
+#: Constructors whose result is a *fresh* array the enclosing function
+#: owns — writes to it are building, not mutating shared state.
+_FRESH_PRODUCERS = {
+    "empty",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "array",
+    "copy",
+    "concatenate",
+    "repeat",
+    "fromiter",
+    "empty_like",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+}
+
+#: numpy view-producing methods: ``x.view()``, ``x.reshape(...)`` share
+#: the base buffer exactly like a slice does.
+_VIEW_METHODS = {"view", "reshape"}
+
+
+def _is_columnar_name(name: str) -> bool:
+    return name in SHARED_COLUMN_NAMES or name.endswith(_COLUMN_SUFFIXES)
+
+
+def _subscript_base(node: ast.Subscript) -> ast.AST:
+    return node.value
+
+
+class _FunctionState:
+    __slots__ = ("fresh", "view_of")
+
+    def __init__(self) -> None:
+        self.fresh: set[str] = set()
+        self.view_of: dict[str, str] = {}
+
+
+class _ColumnarRule(Rule):
+    """Shared per-function tracking of fresh arrays and view aliases."""
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._states: dict[int | None, _FunctionState] = {None: _FunctionState()}
+
+    def _state(self) -> _FunctionState:
+        fn = self.ctx.current_function()
+        key = id(fn) if fn is not None else None
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _FunctionState()
+        return state
+
+    def exit_function(self, node: ast.AST) -> None:
+        self._states.pop(id(node), None)
+
+    def _classify_value(self, value: ast.AST) -> str | None:
+        """``"fresh"`` for owned arrays, a base-name string for views."""
+        if isinstance(value, ast.Call):
+            chain = call_name(value)
+            if chain is not None:
+                base = chain.split(".")[-1]
+                if base in _FRESH_PRODUCERS:
+                    return "fresh"
+                if base in _VIEW_METHODS and isinstance(value.func, ast.Attribute):
+                    owner = value.func.value
+                    if isinstance(owner, ast.Name):
+                        return f"view:{owner.id}"
+            return None
+        if isinstance(value, ast.Subscript) and isinstance(value.value, ast.Name):
+            if isinstance(value.slice, ast.Slice):
+                return f"view:{value.value.id}"
+            # Advanced (integer/boolean-array) indexing copies — fresh.
+            return "fresh"
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        tag = self._classify_value(node.value)
+        state = self._state()
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            state.fresh.discard(name)
+            state.view_of.pop(name, None)
+            if tag == "fresh":
+                state.fresh.add(name)
+            elif tag is not None and tag.startswith("view:"):
+                state.view_of[name] = tag[5:]
+
+
+@register
+class SharedColumnWrite(_ColumnarRule):
+    code = "RL301"
+    name = "shared-column-write"
+    description = (
+        "in-place write to a shared delivery column (inbox/batch lane or "
+        "delivery-tail flat column)"
+    )
+    contract = (
+        "Delivered columns are immutable: protocol code never writes into "
+        "inbox/batch lanes or the delivery tail's flat columns in place."
+    )
+
+    def _check_target(self, target: ast.AST) -> None:
+        if not isinstance(target, ast.Subscript):
+            return
+        base = _subscript_base(target)
+        if isinstance(base, ast.Attribute) and base.attr in SHARED_COLUMN_ATTRS:
+            chain = attr_chain(base) or f"<expr>.{base.attr}"
+            self.report(
+                target,
+                f"in-place write to shared column '{chain}[...]': delivered "
+                "lanes are shared across the layout cache and every tier — "
+                "build a fresh array instead of mutating",
+            )
+        elif isinstance(base, ast.Name) and base.id in SHARED_COLUMN_NAMES:
+            if base.id not in self._state().fresh:
+                self.report(
+                    target,
+                    f"in-place write to delivery column '{base.id}[...]' that "
+                    "this function does not own; the layout cache keys on "
+                    "these objects — allocate a fresh array",
+                )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        super().visit_Assign(node)
+        for target in node.targets:
+            self._check_target(target)
+
+
+@register
+class ViewAliasWrite(_ColumnarRule):
+    code = "RL302"
+    name = "view-alias-write"
+    description = (
+        "write through a numpy view of a columnar array (the PR 6 "
+        "stale-permutation hazard)"
+    )
+    contract = (
+        "No writes through views: a slice/reshape/view of a shared column "
+        "aliases its base, so writing it mutates cached state invisibly."
+    )
+
+    def _check_target(self, target: ast.AST) -> None:
+        if not isinstance(target, ast.Subscript):
+            return
+        base = _subscript_base(target)
+        if not isinstance(base, ast.Name):
+            return
+        state = self._state()
+        origin = state.view_of.get(base.id)
+        if origin is None:
+            return
+        if origin in state.fresh or not _is_columnar_name(origin):
+            return
+        self.report(
+            target,
+            f"write through view '{base.id}' aliases column '{origin}': "
+            "an aliased in-place write bypasses identity checks and "
+            "misdelivers via stale cached permutations (PR 6 bug class) — "
+            "copy before writing",
+        )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        super().visit_Assign(node)
+        for target in node.targets:
+            self._check_target(target)
+
+
+_NARROW_DTYPES = {
+    "int8",
+    "int16",
+    "int32",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+}
+
+
+def _narrow_dtype_name(node: ast.AST) -> str | None:
+    """Name of a narrower-than-int64 integer dtype expression, or None."""
+    chain = attr_chain(node)
+    if chain is not None:
+        base = chain.split(".")[-1]
+        if base in _NARROW_DTYPES:
+            return chain
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _NARROW_DTYPES:
+            return node.value
+    return None
+
+
+@register
+class DtypeNarrowing(Rule):
+    code = "RL303"
+    name = "dtype-narrowing"
+    description = "narrowing integer dtype on an engine-path array"
+    contract = (
+        "Message lanes (ids, ports, payloads) are int64 end to end; "
+        "narrowing dtypes truncate silently at scale."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.kind != "engine":
+            return
+        chain = call_name(node)
+        if chain is None:
+            return
+        method = chain.split(".")[-1]
+        if method == "astype" and node.args:
+            narrow = _narrow_dtype_name(node.args[0])
+            if narrow is not None:
+                self.report(
+                    node,
+                    f"astype({narrow}) narrows an engine-path array; the "
+                    "column lanes are int64 end to end",
+                )
+            return
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                narrow = _narrow_dtype_name(kw.value)
+                if narrow is not None:
+                    self.report(
+                        node,
+                        f"dtype={narrow} narrows an engine-path array; the "
+                        "column lanes are int64 end to end",
+                    )

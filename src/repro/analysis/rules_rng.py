@@ -1,0 +1,150 @@
+"""RNG-discipline rules (RL1xx).
+
+The engine's bit-for-bit tier equality holds only because every random
+draw flows through one explicitly seeded ``np.random.Generator`` in one
+canonical order (docs/engine.md "canonical RNG discipline").  Any other
+entropy source — the legacy global numpy RNG, the stdlib ``random``
+module, an unseeded ``default_rng()`` — silently breaks seed
+reproducibility, and deriving child generators by *drawing* from a parent
+(instead of ``rng.spawn()``) couples the child stream to the parent's
+consumption order, which is exactly what the tier-differential matrices
+forbid.
+
+Whitelisted seeding sites are the explicit-seed constructions the repo
+uses everywhere: ``np.random.default_rng(<seed expression>)`` with an
+argument.  Only the *argless* form (OS entropy) and draw-derived seeds
+are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import attr_chain, call_name, contains_rng_draw
+from repro.analysis.rules import Rule, register
+
+__all__ = ["LegacyGlobalRng", "StdlibRandom", "SeedlessDefaultRng", "UnspawnedStream"]
+
+#: ``np.random`` members that are not the legacy global-state API.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+@register
+class LegacyGlobalRng(Rule):
+    code = "RL101"
+    name = "legacy-global-rng"
+    description = (
+        "call into the legacy global numpy RNG (np.random.rand, "
+        "np.random.seed, ...) instead of an explicit Generator"
+    )
+    contract = (
+        "Every random draw flows through an explicitly seeded "
+        "np.random.Generator passed down the call stack."
+    )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = attr_chain(node)
+        if chain is None:
+            return
+        for prefix in _NP_RANDOM_PREFIXES:
+            if chain.startswith(prefix):
+                member = chain[len(prefix) :].split(".", 1)[0]
+                if member and member not in _ALLOWED_NP_RANDOM:
+                    self.report(
+                        node,
+                        f"legacy global-RNG access '{chain}': use an explicit "
+                        "np.random.Generator (seeded default_rng) instead",
+                    )
+                return
+
+
+@register
+class StdlibRandom(Rule):
+    code = "RL102"
+    name = "stdlib-random"
+    description = "import of the stdlib random module (process-global state)"
+    contract = (
+        "The stdlib random module is banned: its global state is invisible "
+        "to the seed-matched differential matrices."
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "stdlib 'random' import: engine code draws from the "
+                    "explicit np.random.Generator discipline only",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self.report(
+                node,
+                "stdlib 'random' import: engine code draws from the "
+                "explicit np.random.Generator discipline only",
+            )
+
+
+def _is_default_rng_call(node: ast.Call) -> bool:
+    chain = call_name(node)
+    return chain is not None and (
+        chain == "default_rng" or chain.endswith(".default_rng")
+    )
+
+
+@register
+class SeedlessDefaultRng(Rule):
+    code = "RL103"
+    name = "seedless-default-rng"
+    description = "default_rng() with no seed (OS entropy, nondeterministic)"
+    contract = (
+        "Generators are constructed only at whitelisted seeding sites: "
+        "default_rng(<explicit seed>); the argless form draws OS entropy."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_default_rng_call(node) and not node.args and not node.keywords:
+            self.report(
+                node,
+                "default_rng() without a seed is nondeterministic; pass an "
+                "explicit seed (or derive a stream with rng.spawn())",
+            )
+
+
+@register
+class UnspawnedStream(Rule):
+    code = "RL104"
+    name = "unspawned-stream"
+    description = (
+        "child generator seeded by drawing from a parent generator "
+        "instead of rng.spawn()"
+    )
+    contract = (
+        "Derived streams come from rng.spawn(); seeding a child by drawing "
+        "from the parent couples it to the parent's consumption order."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not _is_default_rng_call(node) or not node.args:
+            return
+        draw = contains_rng_draw(node.args[0])
+        if draw is not None:
+            self.report(
+                node,
+                f"child generator seeded from a parent draw ('{draw}'); "
+                "use rng.spawn() so the stream is independent of the "
+                "parent's consumption order",
+            )

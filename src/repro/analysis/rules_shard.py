@@ -1,0 +1,99 @@
+"""Shard-safety rules (RL4xx): disjoint writes inside worker bodies.
+
+The :class:`~repro.net.shard.ShardPool` contract is that worker ``w``
+writes its outputs only at ``[off, off + k)`` — the prefix-sum offset of
+its receiver range in the shared arena.  Two workers writing overlapping
+arena slices is a silent cross-process race: no exception, just corrupted
+sorted columns on whichever worker loses.  The runtime guard is the
+``REPRO_SANITIZE=1`` arena canary; this rule catches the unbounded write
+statically.
+
+The rule applies inside the designated shard-worker function bodies and
+requires every subscript *store* to an output column (``*_out`` names, or
+``cols[...]`` arena lanes) to index through an offset-derived bound — a
+slice whose endpoints reference an ``off``/``end`` variable.  A write
+like ``pay_out[:m] = ...`` (whole-arena) or ``pay_out[local] = ...``
+(scatter by global index) inside a worker is exactly the overlap class
+the canary exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import Rule, register
+
+__all__ = ["ShardUnboundedWrite", "SHARD_WORKER_FUNCS"]
+
+#: Function names treated as shard-worker bodies (the fork target and its
+#: in-process serial twin).  Extend when adding new worker entry points.
+SHARD_WORKER_FUNCS = {"_worker_loop", "_serial_sort"}
+
+#: Substrings marking a variable as an offset bound derived from
+#: ``shard_bounds`` prefix sums.
+_OFFSET_MARKERS = ("off", "end")
+
+
+def _mentions_offset(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and any(
+            marker in sub.id for marker in _OFFSET_MARKERS
+        ):
+            return True
+    return False
+
+
+def _is_output_column(base: ast.AST) -> str | None:
+    """Arena output lanes: ``<name>_out[...]`` or ``cols[<key>][...]``."""
+    if isinstance(base, ast.Name) and base.id.endswith("_out"):
+        return base.id
+    if isinstance(base, ast.Subscript) and isinstance(base.value, ast.Name):
+        if base.value.id in ("cols", "columns"):
+            key = base.slice
+            if isinstance(key, ast.Constant):
+                return f"{base.value.id}[{key.value!r}]"
+            return f"{base.value.id}[...]"
+    return None
+
+
+@register
+class ShardUnboundedWrite(Rule):
+    code = "RL401"
+    name = "shard-unbounded-write"
+    description = (
+        "arena write inside a shard worker not bounded by shard offsets"
+    )
+    contract = (
+        "Shard workers write only their own [off, off+k) arena slice; "
+        "offsets come from the recv-count prefix sums at shard_bounds."
+    )
+
+    def _in_worker(self) -> bool:
+        fn = self.ctx.current_function()
+        return fn is not None and fn.name in SHARD_WORKER_FUNCS
+
+    def _check_target(self, target: ast.AST) -> None:
+        if not self._in_worker() or not isinstance(target, ast.Subscript):
+            return
+        column = _is_output_column(target.value)
+        if column is None:
+            return
+        sl = target.slice
+        if isinstance(sl, ast.Slice):
+            if _mentions_offset(sl.lower) and _mentions_offset(sl.upper):
+                return
+        self.report(
+            target,
+            f"shard worker writes '{column}' without shard-offset bounds; "
+            "workers own only [off, off+k) of the arena — overlapping "
+            "writes race silently across processes",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)

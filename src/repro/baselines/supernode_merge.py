@@ -92,12 +92,14 @@ def supernode_merge(graph) -> SupernodeMergeResult:
         choice: dict[int, tuple[int, int, int]] = {}  # root -> (label, a, b)
         for v in range(n):
             rv = uf.find(v)
-            for u in adj[v]:
+            for u in sorted(adj[v]):
                 ru = uf.find(u)
                 if ru == rv:
                     continue
                 cand = (labels[ru], v, u)
-                if rv not in choice or cand[0] < choice[rv][0]:
+                # Full-tuple compare: ties on label resolve by (v, u), not
+                # by whichever neighbour a set happened to yield first.
+                if rv not in choice or cand < choice[rv]:
                     choice[rv] = cand
         max_depth = depth_of_trees()
         # Merge along chosen edges, restricted to a matching: a supernode

@@ -74,9 +74,13 @@ def ghaffari_stage(
     the MIS; its neighbours become dominated.
     """
     n = len(adj)
-    neighbors = [np.fromiter(a, dtype=np.int64) if a else np.empty(0, np.int64) for a in adj]
+    neighbors = [
+        np.fromiter(sorted(a), dtype=np.int64) if a else np.empty(0, np.int64)
+        for a in adj
+    ]
     p = np.full(n, 0.5)
-    state = np.full(n, UNDECIDED, dtype=np.int8)
+    # Per-node state codes, not a message lane; int8 is deliberate.
+    state = np.full(n, UNDECIDED, dtype=np.int8)  # repro-lint: disable=RL303
 
     for _ in range(num_rounds):
         undecided = state == UNDECIDED
@@ -139,10 +143,14 @@ def metivier_mis(
         rounds += 1
         if rounds > max_rounds:
             raise RuntimeError("Metivier execution failed to terminate")
-        rank = {v: rng.random() for v in undecided}
+        # Draw ranks in ascending node order: iterating the set directly
+        # would couple the RNG stream to hash order, which CPython only
+        # happens to make reproducible for small dense ints.
+        order = sorted(undecided)
+        rank = {v: rng.random() for v in order}
         joiners = [
             v
-            for v in undecided
+            for v in order
             if all(
                 rank[v] < rank[u]
                 for u in adj[v]

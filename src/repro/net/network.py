@@ -50,6 +50,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro import sanitize as _sanitize
 from repro.net.batch import KINDS, MessageBatch, pair_payload
 from repro.net.message import Message
 from repro.net.shard import resolve_workers
@@ -598,6 +599,40 @@ class SyncNetwork:
         self._metrics.rounds = self.round_no
 
     # ------------------------------------------------------------------
+    def _run_fault_hook(self, snd_ids: np.ndarray, rcv_ids: np.ndarray):
+        """Invoke the adversary hook; under ``REPRO_SANITIZE=1`` verify it
+        behaved obliviously.
+
+        The hook contract (every tier, one seed, one fault stream) only
+        holds if the hook neither draws from the delivery RNG — that
+        would shift every subsequent truncation lottery — nor mutates the
+        sender/receiver columns it is shown, which on the vectorized path
+        are the live round columns.
+        """
+        if not _sanitize.ENABLED:
+            return self.fault_hook(self.round_no, snd_ids, rcv_ids)
+        state_before = _sanitize.rng_state(self.rng)
+        snd_before = snd_ids.copy()
+        rcv_before = rcv_ids.copy()
+        keep = self.fault_hook(self.round_no, snd_ids, rcv_ids)
+        if _sanitize.rng_state(self.rng) != state_before:
+            raise _sanitize.SanitizeError(
+                "sanitize: fault hook consumed the delivery RNG in round "
+                f"{self.round_no}; hooks must pre-spawn their own stream "
+                "(rng.spawn) or compile their schedule up front"
+            )
+        if not (
+            np.array_equal(snd_ids, snd_before)
+            and np.array_equal(rcv_ids, rcv_before)
+        ):
+            raise _sanitize.SanitizeError(
+                "sanitize: fault hook mutated the sender/receiver columns "
+                f"in round {self.round_no}; hooks observe traffic and "
+                "return keep indices or a mask, they never edit lanes"
+            )
+        return keep
+
+    # ------------------------------------------------------------------
     # Legacy engine: per-message loops, the differential-testing oracle.
     # ------------------------------------------------------------------
     def _deliver_legacy(self, outputs) -> None:
@@ -628,7 +663,7 @@ class SyncNetwork:
             rcv_ids = np.fromiter(
                 (m.receiver for m in flat), dtype=np.int64, count=len(flat)
             )
-            keep = self.fault_hook(self.round_no, snd_ids, rcv_ids)
+            keep = self._run_fault_hook(snd_ids, rcv_ids)
             if keep is not None:
                 kept = _fault_keep_indices(keep, len(flat))
                 if kept.size != len(flat):
@@ -916,10 +951,13 @@ class SyncNetwork:
             snd_all = senders
         if snd_all.shape[0] != m:
             raise ValueError("SoA batch senders column must match receivers")
-        if not (self._reuse_layouts and snd_all is self._layout.snd):
+        if _sanitize.ENABLED or not (
+            self._reuse_layouts and snd_all is self._layout.snd
+        ):
             # Identity-stable sender columns were validated when cached;
             # the alias-write guard in _deliver_flat re-validates if the
             # values turn out to have changed underneath the identity.
+            # Sanitize mode re-checks every round regardless.
             self._require_ascending_senders(snd_all)
         kinds = produced.kinds
         if type(kinds) is np.ndarray:
@@ -994,6 +1032,15 @@ class SyncNetwork:
         lay = self._layout
         reuse = self._reuse_layouts
         entry_rcv, entry_snd = rcv_all, snd_all
+
+        if _sanitize.ENABLED:
+            # int64 end to end: a narrowed lane (RL303's runtime twin)
+            # silently wraps ids/payloads at scale.
+            _sanitize.check_int64("receivers", rcv_all)
+            _sanitize.check_int64("senders", snd_all)
+            _sanitize.check_int64("kinds", kind_all)
+            _sanitize.check_int64("payloads", pay_all)
+            _sanitize.check_int64("payloads2", pay2_all)
 
         # ---- alias-write guard over the layout cache -------------------
         # Identity alone can lie: an emitter may mutate a re-emitted
@@ -1092,7 +1139,7 @@ class SyncNetwork:
         # every tier sees the same fault stream under a shared seed.
         if self.fault_hook is not None and m_total:
             snd_ids = snd_all if contiguous else ids[snd_all]
-            keep = self.fault_hook(self.round_no, snd_ids, rcv_all)
+            keep = self._run_fault_hook(snd_ids, rcv_all)
             if keep is not None:
                 kept = _fault_keep_indices(keep, m_total)
                 if kept.size != m_total:
@@ -1332,6 +1379,17 @@ class SyncNetwork:
                 lay.clear_snd()
                 lay.rcv = rcv_idx
                 lay.order = order
+
+        if _sanitize.ENABLED:
+            # Postcondition of every layout path above (fresh sort, cache
+            # hit, sharded sort): the grouped columns are receiver-sorted.
+            # An unsorted rcv_s here means a stale permutation or a shard
+            # worker writing outside its range.
+            _sanitize.check_receiver_sorted("rcv_s", rcv_s)
+            _sanitize.check_int64("rcv_s", rcv_s)
+            _sanitize.check_int64("snd_s", snd_s)
+            _sanitize.check_int64("pay_s", pay_s)
+            _sanitize.check_int64("pay2_s", pay2_s)
 
         snd_real_s = snd_s if contiguous else ids[snd_s]
         rcv_real_s = rcv_s if contiguous else ids[rcv_s]

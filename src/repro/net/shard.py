@@ -45,13 +45,22 @@ from __future__ import annotations
 import mmap
 import multiprocessing as mp
 import os
+import warnings
 import weakref
 
 import numpy as np
 
+from repro import sanitize as _sanitize
 from repro.net.vectorops import group_argsort
 
-__all__ = ["WORKERS_ENV", "ShardPool", "resolve_workers", "shard_bounds"]
+__all__ = [
+    "WORKERS_ENV",
+    "ShardPool",
+    "effective_workers",
+    "fork_available",
+    "resolve_workers",
+    "shard_bounds",
+]
 
 #: Environment variable consulted when ``workers`` is not given explicitly
 #: (the harness axis — see ``repro.experiments.harness.select_workers``).
@@ -73,6 +82,11 @@ _COLUMNS = (
 
 _WORKER_TIMEOUT = 60.0  # seconds; a shard job is a few O(m/W) passes
 
+#: Guard value planted one slot past the round's extent under
+#: ``REPRO_SANITIZE=1``; any other value after a sort means a worker
+#: wrote beyond its prefix-sum range.
+_CANARY = -0x5EEDCAFE
+
 
 def resolve_workers(workers: int | None = None) -> int:
     """Normalise a worker count (``None`` → ``REPRO_WORKERS`` → 1)."""
@@ -90,6 +104,46 @@ def resolve_workers(workers: int | None = None) -> int:
     if workers < 1:
         raise ValueError(f"worker count must be >= 1, got {workers}")
     return workers
+
+
+def fork_available() -> bool:
+    """Whether the fork start method (and hence a real worker pool)
+    exists on this platform."""
+    try:
+        mp.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+def effective_workers(workers: int) -> int:
+    """The process count a ``workers``-worker pool actually runs with:
+    ``workers`` under fork, 1 under the serial fallback.  Bench JSON
+    records this next to the requested count so cross-platform result
+    files stay honest about their parallelism."""
+    if workers > 1 and not fork_available():
+        return 1
+    return int(workers)
+
+
+_SERIAL_FALLBACK_WARNED = False
+
+
+def _warn_serial_fallback(workers: int) -> None:
+    """One warning per process: requested parallelism quietly degrading
+    to a serial loop is worth a single loud line, not per-pool spam."""
+    global _SERIAL_FALLBACK_WARNED
+    if _SERIAL_FALLBACK_WARNED:
+        return
+    _SERIAL_FALLBACK_WARNED = True
+    warnings.warn(
+        f"ShardPool(workers={workers}): the fork start method is "
+        "unavailable on this platform; running the per-shard jobs as an "
+        "in-process serial loop (bit-for-bit identical results, no "
+        "parallel speedup). Bench rows record workers_effective=1.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def shard_bounds(n: int, workers: int) -> np.ndarray:
@@ -224,6 +278,7 @@ class ShardPool:
         except ValueError:  # pragma: no cover - non-fork platforms
             self._ctx = None
             self._serial = True
+            _warn_serial_fallback(self.workers)
         self._setup(max(int(capacity), 1))
 
     # ------------------------------------------------------------------
@@ -352,6 +407,20 @@ class ShardPool:
         np.cumsum(recv_counts, out=csum[1:])
         offs = csum[self.bounds[:-1]]
         self.gen += 1
+        sanitize = _sanitize.ENABLED
+        guarded = False
+        if sanitize:
+            # Arena canary: a valid ``order`` entry is an index in
+            # ``[0, m)``, so poison the lane with -1 and plant a guard
+            # one slot past the round's extent.  A worker writing outside
+            # its prefix-sum range either leaves a poisoned slot
+            # uncovered (overlap elsewhere) or tramples the guard —
+            # both the write-overlap race class the shard merge relies
+            # on never happening.
+            cols["order"][:m] = -1
+            guarded = self._capacity > m
+            if guarded:
+                cols["order"][m] = _CANARY
         if self._serial:
             self._serial_sort(m, offs, want_pay2)
         else:
@@ -363,6 +432,22 @@ class ShardPool:
                     f"shard sort covered {total} of {m} messages — "
                     "receiver indices outside [0, n)?"
                 )
+        if sanitize:
+            order_lane = cols["order"][:m]
+            if bool((order_lane < 0).any()):
+                hole = int(np.argmax(order_lane < 0))
+                raise _sanitize.SanitizeError(
+                    f"sanitize: shard sort left output slot {hole} of {m} "
+                    "unwritten — workers overlapped or skipped a "
+                    "prefix-sum range"
+                )
+            if guarded and int(cols["order"][m]) != _CANARY:
+                raise _sanitize.SanitizeError(
+                    "sanitize: shard sort trampled the guard slot past "
+                    f"the round's extent (m={m}) — a worker wrote beyond "
+                    "its range"
+                )
+            _sanitize.check_receiver_sorted("rcv_s", cols["rcv_s"][:m])
         return (
             cols["order"][:m].copy(),
             cols["rcv_s"][:m].copy(),

@@ -38,19 +38,23 @@ import os
 
 import numpy as np
 
+from repro import sanitize as _sanitize
 from repro.net.batch import KINDS, MessageBatch
 
 __all__ = ["DEBUG_VALIDATE", "SoAInbox", "SoAProtocolClass"]
 
 _NO_COLUMN = np.empty(0, dtype=np.int64)
 
-#: Debug-mode column validation (set ``REPRO_DEBUG_SOA=1``, or flip the
-#: module flag in tests).  ``SoAInbox.concat`` documents "no re-sorting" —
+#: Debug-mode column validation (set ``REPRO_DEBUG_SOA=1`` — or the
+#: unified ``REPRO_SANITIZE=1``, which implies it — or flip the module
+#: flag in tests).  ``SoAInbox.concat`` documents "no re-sorting" —
 #: with the flag on it *checks* that every input is itself receiver-sorted,
 #: so a caller concatenating genuinely unordered columns (and then not
 #: re-sorting, as the delay queue does) fails loudly instead of handing a
 #: protocol class segments that straddle receiver groups.
-DEBUG_VALIDATE = os.environ.get("REPRO_DEBUG_SOA", "") not in ("", "0")
+DEBUG_VALIDATE = (
+    os.environ.get("REPRO_DEBUG_SOA", "") not in ("", "0") or _sanitize.ENABLED
+)
 
 
 class SoAInbox:

@@ -78,7 +78,9 @@ def run_rooting_scenario(
         max_rounds = 5 * fr + 8  # the rooting runners' default budget
     population = build_rooting_population(graph, fr, tier)
     injector = spec.compile(n)
-    start = time.perf_counter()
+    # Wall time is this harness's deliverable (scenario rows report
+    # duration); measurement is the point here.
+    start = time.perf_counter()  # repro-lint: disable=RL202
     report, network = run_with_asynchrony(
         population,
         capacity,
@@ -88,7 +90,7 @@ def run_rooting_scenario(
         require_quiescence=False,
         fault_hook=injector,
     )
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro-lint: disable=RL202
     if tier == "soa":
         parent, depth = population.parent, population.depth
     else:
@@ -166,14 +168,16 @@ def run_churn_rebuild_scenario(
     csr = CSRAdjacency.from_graph(graph).induced_by(alive)
     truth, _ = flood_min_ids_columns(csr)
 
-    start = time.perf_counter()
+    # Wall time is this harness's deliverable (scenario rows report
+    # duration); measurement is the point here.
+    start = time.perf_counter()  # repro-lint: disable=RL202
     result = connected_components_hybrid(
         csr,
         rng=np.random.default_rng(seed),
         overlay_params=overlay_params,
         tier=tier,
     )
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro-lint: disable=RL202
     labels = result.labels
     roots = np.unique(labels)
     return {

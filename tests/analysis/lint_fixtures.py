@@ -1,0 +1,159 @@
+"""Good/bad source pairs for every repro-lint rule code.
+
+Each fixture is a minimal snippet pair: ``bad`` must trigger exactly the
+rule's code at least once, ``good`` is the contract-conforming spelling
+of the same intent and must lint clean.  ``rel_path`` places the snippet
+in the right module kind (``src/...`` = engine rules apply,
+``benchmarks/...`` = relaxed).  The meta-test in ``test_rules.py``
+asserts every registered rule has a pair here, so adding a rule without
+a fixture fails CI.
+"""
+
+ENGINE_PATH = "src/repro/fixture_mod.py"
+TESTS_PATH = "tests/test_fixture_mod.py"
+
+RULE_FIXTURES = {
+    "RL000": {
+        "bad": "def f(:\n",
+        "good": "X = 1\n",
+        "rel_path": ENGINE_PATH,
+    },
+    "RL101": {
+        "bad": (
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)\n"
+        ),
+        "good": (
+            "import numpy as np\n"
+            "\n"
+            "def noise(n, rng):\n"
+            "    return rng.random(n)\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL102": {
+        "bad": (
+            "import random\n"
+            "\n"
+            "def shuffle(xs):\n"
+            "    random.shuffle(xs)\n"
+        ),
+        "good": (
+            "def shuffle(xs, rng):\n"
+            "    return [xs[i] for i in rng.permutation(len(xs))]\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL103": {
+        "bad": (
+            "import numpy as np\n"
+            "\n"
+            "def fresh_rng():\n"
+            "    return np.random.default_rng()\n"
+        ),
+        "good": (
+            "import numpy as np\n"
+            "\n"
+            "def fresh_rng(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL104": {
+        "bad": (
+            "import numpy as np\n"
+            "\n"
+            "def child_stream(rng):\n"
+            "    return np.random.default_rng(rng.integers(1 << 62))\n"
+        ),
+        "good": (
+            "def child_stream(rng):\n"
+            "    return rng.spawn(1)[0]\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL201": {
+        "bad": (
+            "def emit(items):\n"
+            "    pending = set(items)\n"
+            "    return [v for v in pending]\n"
+        ),
+        "good": (
+            "def emit(items):\n"
+            "    pending = set(items)\n"
+            "    return [v for v in sorted(pending)]\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL202": {
+        "bad": (
+            "import time\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+        "good": (
+            "def stamp(round_no):\n"
+            "    return round_no\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL301": {
+        "bad": (
+            "def truncate(batch, keep):\n"
+            "    batch.senders[keep] = -1\n"
+        ),
+        "good": (
+            "def truncate(batch, keep):\n"
+            "    snd = batch.senders.copy()\n"
+            "    snd[keep] = -1\n"
+            "    return snd\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL302": {
+        "bad": (
+            "def rewrite(rcv_all):\n"
+            "    alias = rcv_all[:]\n"
+            "    alias[0] = 7\n"
+        ),
+        "good": (
+            "def rewrite(rcv_all):\n"
+            "    fresh = rcv_all.copy()\n"
+            "    fresh[0] = 7\n"
+            "    return fresh\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL303": {
+        "bad": (
+            "import numpy as np\n"
+            "\n"
+            "def pack(col):\n"
+            "    return col.astype(np.int32)\n"
+        ),
+        "good": (
+            "import numpy as np\n"
+            "\n"
+            "def pack(col):\n"
+            "    return col.astype(np.int64)\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL401": {
+        "bad": (
+            "def _worker_loop(conn, cols, lo, hi):\n"
+            "    k = 4\n"
+            "    cols['order'][0:k] = 1\n"
+        ),
+        "good": (
+            "def _worker_loop(conn, cols, lo, hi):\n"
+            "    off = 0\n"
+            "    end = off + 4\n"
+            "    cols['order'][off:end] = 1\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+}

@@ -1,0 +1,138 @@
+"""repro-lint rule tests: fixture pairs, suppressions, and registry meta.
+
+Every registered rule must have a good/bad snippet pair in
+``lint_fixtures.py``: the bad spelling triggers the rule's code, the
+good spelling of the same intent lints clean.  The meta-test makes the
+pairing a CI obligation for future rules.
+"""
+
+import pytest
+
+from lint_fixtures import ENGINE_PATH, RULE_FIXTURES
+from repro.analysis import all_rules, analyze_source
+
+CODES = sorted(RULE_FIXTURES)
+
+
+def codes_of(source, rel_path):
+    return {v.code for v in analyze_source(source, rel_path=rel_path)}
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("code", CODES)
+    def test_bad_triggers_code(self, code):
+        fx = RULE_FIXTURES[code]
+        assert code in codes_of(fx["bad"], fx["rel_path"]), (
+            f"bad fixture for {code} did not trigger it"
+        )
+
+    @pytest.mark.parametrize("code", CODES)
+    def test_good_is_clean(self, code):
+        fx = RULE_FIXTURES[code]
+        violations = analyze_source(fx["good"], rel_path=fx["rel_path"])
+        assert violations == [], (
+            f"good fixture for {code} is not clean: {violations}"
+        )
+
+    def test_meta_every_rule_has_a_fixture(self):
+        registered = {cls.code for cls in all_rules()}
+        # RL000 (syntax error) is emitted by the engine, not a rule class.
+        assert set(RULE_FIXTURES) == registered | {"RL000"}
+
+
+class TestModuleKinds:
+    def test_wall_clock_allowed_in_benchmarks(self):
+        bad = RULE_FIXTURES["RL202"]["bad"]
+        assert "RL202" not in codes_of(bad, "benchmarks/bench_fixture.py")
+
+    def test_set_iteration_allowed_in_tests(self):
+        bad = RULE_FIXTURES["RL201"]["bad"]
+        assert "RL201" not in codes_of(bad, "tests/test_fixture.py")
+
+    def test_dtype_narrowing_allowed_outside_engine(self):
+        bad = RULE_FIXTURES["RL303"]["bad"]
+        assert "RL303" not in codes_of(bad, "examples/example_fixture.py")
+
+    def test_rng_rules_apply_everywhere(self):
+        bad = RULE_FIXTURES["RL101"]["bad"]
+        for rel in ("benchmarks/bench_fixture.py", "tests/test_fixture.py"):
+            assert "RL101" in codes_of(bad, rel)
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_one_line(self):
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)  # repro-lint: disable=RL101\n"
+        )
+        assert codes_of(src, ENGINE_PATH) == set()
+
+    def test_inline_disable_is_code_specific(self):
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)  # repro-lint: disable=RL202\n"
+        )
+        assert "RL101" in codes_of(src, ENGINE_PATH)
+
+    def test_inline_disable_all(self):
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)  # repro-lint: disable=all\n"
+        )
+        assert codes_of(src, ENGINE_PATH) == set()
+
+    def test_file_level_disable(self):
+        src = (
+            "# repro-lint: disable-file=RL101\n"
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)\n"
+        )
+        assert codes_of(src, ENGINE_PATH) == set()
+
+    def test_multiline_statement_suppressed_from_first_line(self):
+        # The directive sits on the statement's first physical line; the
+        # violation may anchor to a node spanning several lines.
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(  # repro-lint: disable=RL101\n"
+            "        n,\n"
+            "    )\n"
+        )
+        assert codes_of(src, ENGINE_PATH) == set()
+
+
+class TestViolationShape:
+    def test_sorted_and_fingerprinted(self):
+        src = RULE_FIXTURES["RL302"]["bad"]
+        violations = analyze_source(src, rel_path=ENGINE_PATH)
+        assert violations == sorted(violations)
+        v = violations[0]
+        assert v.fingerprint() == f"{ENGINE_PATH}::{v.code}::{v.line_text}"
+        d = v.as_dict()
+        assert d["code"] == "RL302"
+        assert d["path"] == ENGINE_PATH
+
+    def test_syntax_error_reports_rl000_only(self):
+        violations = analyze_source("def f(:\n", rel_path=ENGINE_PATH)
+        assert [v.code for v in violations] == ["RL000"]
+
+    def test_select_restricts_codes(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)\n"
+        )
+        violations = analyze_source(src, rel_path=ENGINE_PATH, select={"RL102"})
+        assert {v.code for v in violations} == {"RL102"}

@@ -144,3 +144,54 @@ class TestHybridMIS:
 
         res = mis_hybrid(nx.Graph())
         assert res.in_mis == set()
+
+
+class TestMetivierDeterminism:
+    """Pinned regression: rank draws follow ascending node order.
+
+    ``rank = {v: rng.random() for v in undecided}`` used to draw in set
+    iteration order, coupling the RNG stream to hash order — invisible
+    for small dense ids (CPython iterates those ascending) and wrong the
+    moment ids are gappy or large.  Draws are now made over
+    ``sorted(undecided)``.
+    """
+
+    GAPPY = [3, 1 << 40, 5, (1 << 40) + 3, 977]
+
+    @staticmethod
+    def _gappy_adj():
+        adj = {v: set() for v in TestMetivierDeterminism.GAPPY}
+        for a, b in [(3, 5), (5, 977), (977, 1 << 40), (1 << 40, (1 << 40) + 3)]:
+            adj[a].add(b)
+            adj[b].add(a)
+        return adj
+
+    def test_gappy_ids_pinned(self):
+        # Hash order of this id set differs from sorted order, so the
+        # pre-fix code would hand different nodes different draws.
+        nodes = self.GAPPY
+        assert list(set(nodes)) != sorted(nodes)
+        res = metivier_mis(self._gappy_adj(), nodes, np.random.default_rng(11))
+        assert sorted(res.in_mis) == [3, 1 << 40]
+        assert res.rounds == 1
+
+    def test_rank_draws_ascend_node_order(self):
+        # A counting stub exposes the draw order directly: the node with
+        # the smallest id must receive the first (smallest) draw.
+        class CountingRNG:
+            def __init__(self):
+                self.t = 0.0
+
+            def random(self):
+                self.t += 1.0
+                return self.t
+
+        nodes = self.GAPPY
+        res = metivier_mis(self._gappy_adj(), nodes, CountingRNG())
+        # Ascending draws over sorted nodes: node 3 gets rank 1.0 (a
+        # local minimum), 977 gets 3.0 < its neighbours' 2.0? no — 5
+        # gets 2.0 so 977 is not minimal; 2**40 gets 4.0, 2**40+3 gets
+        # 5.0.  Joiners round 1: {3}; then 5 eliminated; next round the
+        # remaining path 977-2**40-2**40+3 draws 6.0,7.0,8.0 -> 977
+        # joins, eliminating 2**40; finally 2**40+3 joins.
+        assert sorted(res.in_mis) == [3, 977, (1 << 40) + 3]
