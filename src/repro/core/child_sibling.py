@@ -20,7 +20,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RootedTree", "to_child_sibling"]
+from repro.net.vectorops import group_argsort
+
+__all__ = ["RootedTree", "to_child_sibling", "to_child_sibling_columns"]
 
 
 @dataclass
@@ -91,3 +93,35 @@ def to_child_sibling(tree: RootedTree) -> RootedTree:
     cs_tree = RootedTree(root=tree.root, parent=parent)
     cs_tree.validate()
     return cs_tree
+
+
+def to_child_sibling_columns(parent: np.ndarray) -> np.ndarray:
+    """Batched child–sibling transform over a whole forest at once.
+
+    ``parent`` is a global parent array describing any rooted forest
+    (roots point to themselves).  Every tree is rewritten in
+    child–sibling form in one vectorized pass — for each node with
+    children ``c₁ < c₂ < … < c_k``, ``parent(c₁)`` stays put and
+    ``parent(c_{i+1})`` becomes ``c_i`` — which is exactly
+    :func:`to_child_sibling` applied to every component, without
+    per-component relabelling (child order is by node id, and any
+    monotone relabelling preserves it).
+
+    Returns the new parent array; roots remain self-parented.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    cs_parent = np.arange(n, dtype=np.int64)
+    children = np.flatnonzero(parent != cs_parent)
+    if children.shape[0] == 0:
+        return cs_parent
+    # ``children`` is ascending by id; the stable grouping sort yields
+    # per-parent segments with children ascending inside each.
+    parents_of = parent[children]
+    order = group_argsort(parents_of, n)
+    child = children[order]
+    par = parents_of[order]
+    first = np.concatenate([[True], par[1:] != par[:-1]])
+    prev_sibling = np.concatenate([[0], child[:-1]])
+    cs_parent[child] = np.where(first, par, prev_sibling)
+    return cs_parent

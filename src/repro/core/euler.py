@@ -25,11 +25,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.child_sibling import RootedTree, to_child_sibling
+from repro.net.vectorops import group_argsort
 
 __all__ = [
     "EulerTour",
+    "EulerTourForest",
     "euler_tour",
+    "euler_tour_forest",
     "list_rank",
+    "list_rank_with_finish",
     "preorder_and_sizes",
     "heap_tree",
     "WellFormedTree",
@@ -45,6 +49,14 @@ class EulerTour:
     starts at the root and has exactly ``2(n-1)`` entries.  ``first_entry``
     and ``exit_entry`` give, for every non-root node, the indices of its
     ``(parent, v)`` and ``(v, parent)`` traversals.
+
+    **Root-sentinel contract** (see ``docs/contracts.md``): the root has
+    no parent edge, so ``first_entry[root] == exit_entry[root] == -1``;
+    for a single-node tree *both arrays are entirely* ``-1`` (and
+    ``edges`` is empty).  Consumers must branch on the root (or on
+    ``entry >= 0``) before indexing with these values — ``-1`` silently
+    aliases the *last* tour position under numpy indexing, which is a
+    valid-looking wrong answer, not an error.
     """
 
     root: int
@@ -134,6 +146,133 @@ def list_rank(successor: np.ndarray) -> tuple[np.ndarray, int]:
         nxt = new_nxt
         rounds += 1
     return dist, rounds
+
+
+def list_rank_with_finish(
+    successor: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """:func:`list_rank` that also records per-element finish rounds.
+
+    ``finish[k]`` is the number of doubling rounds during which element
+    ``k`` still held a live successor.  When several disjoint lists are
+    ranked in one combined pass (the forest tours), pointer jumping
+    evolves each element exactly as it would in a standalone run of its
+    own list, so ``max(finish)`` over one list's elements equals the
+    round count :func:`list_rank` would report for that list alone —
+    which is how the columnar well-forming charges per-component rounds
+    without falling back to a closed-form shortcut.
+    """
+    m = successor.shape[0]
+    nxt = successor.copy()
+    dist = (nxt >= 0).astype(np.int64)
+    finish = np.zeros(m, dtype=np.int64)
+    rounds = 0
+    while True:
+        has_next = np.flatnonzero(nxt >= 0)
+        if has_next.shape[0] == 0:
+            return dist, finish, rounds
+        rounds += 1
+        finish[has_next] = rounds
+        targets = nxt[has_next]
+        dist[has_next] += dist[targets]
+        new_nxt = nxt.copy()
+        new_nxt[has_next] = nxt[targets]
+        nxt = new_nxt
+
+
+@dataclass
+class EulerTourForest:
+    """Euler tours of every tree of a forest, as flat global columns.
+
+    The columnar counterpart of running :func:`euler_tour` per
+    component: ``first_entry[v]`` / ``exit_entry[v]`` are the indices of
+    ``v``'s ``(parent, v)`` and ``(v, parent)`` traversals *within its
+    own component's tour* (each tour starts at its root and has
+    ``2(n_c - 1)`` entries), so the values coincide with the
+    per-component :class:`EulerTour` after any monotone relabelling.
+
+    **Root-sentinel contract**: exactly as for :class:`EulerTour`,
+    ``first_entry`` and ``exit_entry`` are ``-1`` for every component
+    root — and therefore for every singleton component's only node.
+    ``rank_rounds`` charges, per node, the pointer-jumping rounds its
+    tour edges stayed live in the combined list ranking (0 for roots);
+    the per-component maximum is that component's :func:`list_rank`
+    round count.
+    """
+
+    first_entry: np.ndarray
+    exit_entry: np.ndarray
+    rank_rounds: np.ndarray
+    rounds: int
+
+
+def euler_tour_forest(parent: np.ndarray, root_of: np.ndarray) -> EulerTourForest:
+    """Vectorized Euler tours of a whole forest via the successor rule.
+
+    ``parent`` is a global parent array (roots self-parented; constant
+    degree is *not* required) and ``root_of[v]`` identifies ``v``'s
+    component.  One pass builds the successor array of every directed
+    tree edge — neighbour order at each node is children ascending,
+    then parent, exactly :func:`euler_tour`'s local rule — and one
+    combined pointer-jumping ranking positions all tours at once, so
+    the cost is ``O(E log E)`` array work with no per-node Python.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    root_of = np.asarray(root_of, dtype=np.int64)
+    n = parent.shape[0]
+    first_entry = np.full(n, -1, dtype=np.int64)
+    exit_entry = np.full(n, -1, dtype=np.int64)
+    rank_rounds = np.zeros(n, dtype=np.int64)
+    nonroot = np.flatnonzero(parent != np.arange(n, dtype=np.int64))
+    k = nonroot.shape[0]
+    if k == 0:
+        return EulerTourForest(first_entry, exit_entry, rank_rounds, 0)
+
+    # Children grouped by parent (ascending inside each group, since
+    # ``nonroot`` is ascending and the grouping sort is stable).
+    parents_of = parent[nonroot]
+    order = group_argsort(parents_of, n)
+    child = nonroot[order]
+    par = parents_of[order]
+    is_first = np.concatenate([[True], par[1:] != par[:-1]])
+    is_last = np.concatenate([par[1:] != par[:-1], [True]])
+    first_child = np.full(n, -1, dtype=np.int64)
+    first_child[par[is_first]] = child[is_first]
+    has_children = first_child >= 0
+    # Down edge i traverses (par[i] -> child[i]); up edge k + i the
+    # reverse.  ``slot[v]`` is v's down/up edge index.
+    # Zero-init: ``slot`` is only meaningful for non-root nodes, but
+    # masked ``np.where`` branches still gather through it.
+    slot = np.zeros(n, dtype=np.int64)
+    slot[child] = np.arange(k, dtype=np.int64)
+
+    succ = np.empty(2 * k, dtype=np.int64)
+    # Arriving at v from its parent: continue to v's first child, or
+    # bounce straight back up if v is a leaf.
+    succ[:k] = np.where(
+        has_children[child],
+        slot[np.maximum(first_child[child], 0)],
+        np.arange(k, dtype=np.int64) + k,
+    )
+    # Arriving at p from child c: continue to c's next sibling (the
+    # next grouped row), else climb to p's own up edge; the last child
+    # of a root ends the tour (-1).
+    parent_is_root = parent[par] == par
+    succ[k:] = np.where(
+        ~is_last,
+        np.arange(1, k + 1, dtype=np.int64),
+        np.where(parent_is_root, -1, k + slot[par]),
+    )
+
+    dist, finish, rounds = list_rank_with_finish(succ)
+    # Position within the component tour: the tail edge of a tour of
+    # length m sits at position m - 1 and has distance 0 to itself.
+    comp_nonroot = np.bincount(root_of[nonroot], minlength=n)
+    tour_len = 2 * comp_nonroot[root_of[child]]
+    first_entry[child] = tour_len - 1 - dist[:k]
+    exit_entry[child] = tour_len - 1 - dist[k:]
+    rank_rounds[child] = np.maximum(finish[:k], finish[k:])
+    return EulerTourForest(first_entry, exit_entry, rank_rounds, rounds)
 
 
 def preorder_and_sizes(tree: RootedTree) -> tuple[np.ndarray, np.ndarray, int]:

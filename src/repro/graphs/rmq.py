@@ -50,3 +50,32 @@ class SparseTable:
         k = span.bit_length() - 1
         row = self._table[k]
         return self._fn(row[lo], row[hi - (1 << k)])
+
+    def query_many(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Columnar batch of :meth:`query`: one gather per table level.
+
+        ``lo``/``hi`` are equal-shaped integer arrays of half-open,
+        non-empty ranges; invalid ranges raise before anything is
+        gathered (matching the scalar guard — no ``-1`` sentinel leaks
+        through to a wrapped index, cf. the Euler-tour root contract in
+        ``docs/contracts.md``).  Queries group by their span's level
+        ``⌊log₂ span⌋``, so the cost is ``O(q + levels)`` vector ops.
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        if lo.shape != hi.shape:
+            raise ValueError(f"shape mismatch: {lo.shape} vs {hi.shape}")
+        out = np.empty(lo.shape[0], dtype=self._table[0].dtype)
+        if lo.shape[0] == 0:
+            return out
+        if ((lo < 0) | (lo >= hi) | (hi > self._n)).any():
+            raise IndexError(f"invalid range batch for n={self._n}")
+        # frexp is exact on int-valued floats: level = floor(log2(span)).
+        level = np.frexp((hi - lo).astype(np.float64))[1] - 1
+        for k in np.unique(level).tolist():
+            rows = np.flatnonzero(level == k)
+            table = self._table[k]
+            out[rows] = self._fn(
+                table[lo[rows]], table[hi[rows] - (np.int64(1) << k)]
+            )
+        return out

@@ -118,13 +118,13 @@ def _subtree_aggregates(
     table_low = SparseTable(by_rank_low, op="min")
     table_high = SparseTable(by_rank_high, op="max")
 
-    low = np.empty(n, dtype=np.int64)
-    high = np.empty(n, dtype=np.int64)
-    for v in range(n):
-        lo = int(labels[v]) - 1
-        hi = lo + int(nd[v])
-        low[v] = table_low.query(lo, hi)
-        high[v] = table_high.query(lo, hi)
+    # One batched RMQ per table instead of 2n scalar queries; labels are
+    # 1-based preorder ranks, so every interval is valid by construction
+    # (nd >= 1 — no root sentinel reaches an index here).
+    range_lo = labels.astype(np.int64) - 1
+    range_hi = range_lo + nd.astype(np.int64)
+    low = table_low.query_many(range_lo, range_hi)
+    high = table_high.query_many(range_lo, range_hi)
     return low, high
 
 

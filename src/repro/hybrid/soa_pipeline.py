@@ -14,8 +14,11 @@ after rooting, the expander, and the synchroniser:
   ``_deliver_flat`` tail as every other tier, and the "heard" maps of all
   nodes live in one flat ``(node, source, value, predecessor)`` table
   merged with segment reductions;
-- degree reduction, the benign preparation, and the BFS/flooding tail are
-  pure column transforms (lexsort + ``reduceat``);
+- degree reduction, the benign preparation, the BFS/flooding tail, and
+  the Theorem 4.1 well-forming (batched child–sibling conversion, forest
+  Euler tours positioned by one combined pointer-jumping ranking, heap
+  writeback — :func:`repro.hybrid.components.well_formed_forest_columns`)
+  are pure column transforms (lexsort + ``reduceat``);
 - the evolutions reuse :class:`~repro.hybrid.overlay.HybridExpanderBuilder`
   (already array-native) with a :class:`SoAHybridLedger` injected so the
   token-congestion accounting stays columnar end to end.
@@ -904,7 +907,10 @@ def connected_components_hybrid_soa(
     per-node :func:`~repro.hybrid.components.connected_components_hybrid`
     outputs under a shared seed.
     """
-    from repro.hybrid.components import ComponentsResult, well_formed_forest
+    from repro.hybrid.components import (
+        ComponentsResult,
+        well_formed_forest_columns,
+    )
 
     if rng is None:
         rng = np.random.default_rng(0)
@@ -928,7 +934,7 @@ def connected_components_hybrid_soa(
     bfs = build_bfs_forest_soa(overlay.final_graph)
     ledger.charge("min_id_flood_and_bfs", global_rounds=bfs.rounds)
 
-    forest = well_formed_forest(bfs)
+    forest = well_formed_forest_columns(bfs)
     ledger.charge("well_forming", global_rounds=forest.rounds)
 
     return ComponentsResult(

@@ -65,6 +65,42 @@ class TestEulerTour:
         assert tour.length == 0
 
 
+class TestRootSentinel:
+    """Contract C6 (docs/contracts.md): ``first_entry``/``exit_entry``
+    are ``-1`` for the root — and for *every* slot of a single-node
+    tree.  ``-1`` silently aliases the last tour position under numpy
+    indexing, so consumers must mask roots out before gathering; these
+    pins keep the sentinel itself from drifting."""
+
+    def test_single_node_whole_array_is_sentinel(self):
+        tour = euler_tour(RootedTree(root=0, parent=np.array([0])))
+        assert tour.first_entry.tolist() == [-1]
+        assert tour.exit_entry.tolist() == [-1]
+
+    def test_path_root_sentinel(self):
+        tour = euler_tour(path_tree(4))
+        assert tour.first_entry[0] == -1 and tour.exit_entry[0] == -1
+        # Every non-root entry/exit is a real tour position — no -1s.
+        assert (tour.first_entry[1:] >= 0).all()
+        assert (tour.exit_entry[1:] >= 0).all()
+
+    def test_star_root_sentinel(self):
+        star = RootedTree(root=0, parent=np.array([0, 0, 0, 0]))
+        tour = euler_tour(star)
+        assert tour.first_entry[0] == -1 and tour.exit_entry[0] == -1
+        taken = np.concatenate([tour.first_entry[1:], tour.exit_entry[1:]])
+        assert sorted(taken.tolist()) == list(range(6))
+
+    def test_nonroot_entries_cover_tour_positions(self):
+        tree = sample_tree(5)
+        tour = euler_tour(tree)
+        nonroot = [v for v in range(tree.n) if v != tree.root]
+        entries = sorted(int(tour.first_entry[v]) for v in nonroot)
+        exits = sorted(int(tour.exit_entry[v]) for v in nonroot)
+        assert min(entries) == 0 and max(exits) == tour.length - 1
+        assert sorted(entries + exits) == list(range(tour.length))
+
+
 class TestListRank:
     def test_chain_ranks(self):
         succ = np.array([1, 2, 3, -1])

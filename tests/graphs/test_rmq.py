@@ -45,6 +45,39 @@ class TestSparseTable:
         with pytest.raises(IndexError):
             table.query(-1, 3)
 
+    def test_query_many_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(-1000, 1000, size=97)
+        for op in ("min", "max"):
+            table = SparseTable(values, op=op)
+            lo = rng.integers(0, 97, size=300)
+            hi = np.array([int(rng.integers(int(x) + 1, 98)) for x in lo])
+            batch = table.query_many(lo, hi)
+            for i in range(lo.shape[0]):
+                assert batch[i] == table.query(int(lo[i]), int(hi[i]))
+
+    def test_query_many_empty_batch(self):
+        table = SparseTable(np.arange(5), op="min")
+        assert table.query_many(np.array([]), np.array([])).shape == (0,)
+
+    def test_query_many_rejects_invalid_ranges(self):
+        table = SparseTable(np.arange(8), op="min")
+        with pytest.raises(IndexError):
+            table.query_many(np.array([0, 3]), np.array([4, 3]))  # empty range
+        with pytest.raises(IndexError):
+            table.query_many(np.array([-1]), np.array([2]))  # negative lo
+        with pytest.raises(IndexError):
+            table.query_many(np.array([0]), np.array([9]))  # hi > n
+        with pytest.raises(ValueError):
+            table.query_many(np.array([0, 1]), np.array([2]))  # shape mismatch
+
+    def test_query_many_no_sentinel_leak(self):
+        """A -1 bound must raise, not wrap to the last slot — the
+        batched twin of the Euler root-sentinel contract (C6)."""
+        table = SparseTable(np.array([5, 1, 9]), op="max")
+        with pytest.raises(IndexError):
+            table.query_many(np.array([-1]), np.array([1]))
+
     def test_bad_op(self):
         with pytest.raises(ValueError):
             SparseTable(np.arange(3), op="sum")

@@ -5,7 +5,11 @@ import pytest
 
 from repro.graphs import generators as G
 from repro.graphs.analysis import adjacency_sets, connected_components
-from repro.hybrid.components import connected_components_hybrid, well_formed_forest
+from repro.hybrid.components import (
+    ComponentsResult,
+    connected_components_hybrid,
+    well_formed_forest,
+)
 from repro.core.bfs import build_bfs_forest
 
 
@@ -48,6 +52,67 @@ class TestLabels:
         g.add_edge(0, 1)
         res = connected_components_hybrid(g, rng=rng)
         assert set(res.components()) == {0, 2, 3, 4}
+
+
+def split_only(labels: np.ndarray) -> ComponentsResult:
+    """A result carrying just ``labels`` — enough for ``components()``."""
+    res = ComponentsResult.__new__(ComponentsResult)
+    res.labels = labels
+    return res
+
+
+class TestComponentsSplit:
+    """ISSUE 8 satellite: the columnar ``components()`` grouping sort
+    replaced a per-element Python loop; its output — values *and* key
+    insertion order — is pinned against the legacy loop here."""
+
+    def test_gappy_labels_identical_to_legacy_loop(self):
+        # Component-like (label = min member id) but gappy: labels
+        # 0, 1, 4, 7 with nothing in between.
+        labels = np.array([0, 1, 1, 0, 4, 4, 0, 7, 7, 4], dtype=np.int64)
+        legacy: dict[int, list[int]] = {}
+        for v, label in enumerate(labels.tolist()):
+            legacy.setdefault(label, []).append(v)
+        got = split_only(labels).components()
+        assert got == legacy
+        assert list(got) == list(legacy)  # ascending == first-occurrence order
+
+    def test_arbitrary_labels_values_match_legacy(self):
+        # Not component-like: key order differs (ascending vs first
+        # occurrence) but memberships are still identical — dict
+        # equality ignores order, which is all non-pipeline callers get.
+        labels = np.array([7, 3, 3, 7, 0, 11, 0, 7, 11, 0], dtype=np.int64)
+        legacy: dict[int, list[int]] = {}
+        for v, label in enumerate(labels.tolist()):
+            legacy.setdefault(label, []).append(v)
+        got = split_only(labels).components()
+        assert got == legacy
+        assert list(got) == sorted(legacy)
+
+    def test_noncontiguous_single_member_labels(self):
+        labels = np.array([2, 0, 2, 5], dtype=np.int64)
+        assert split_only(labels).components() == {0: [1], 2: [0, 2], 5: [3]}
+
+    def test_empty_labels(self):
+        assert split_only(np.empty(0, dtype=np.int64)).components() == {}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_labels_differential(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 9, size=60).astype(np.int64)
+        # Legacy key order was first occurrence, not ascending — make the
+        # labels "component-like" (label = min member id) as the pipeline
+        # guarantees, by remapping each group's label to its first index.
+        first = {}
+        for v, label in enumerate(labels.tolist()):
+            first.setdefault(label, v)
+        labels = np.array([first[label] for label in labels.tolist()])
+        legacy: dict[int, list[int]] = {}
+        for v, label in enumerate(labels.tolist()):
+            legacy.setdefault(label, []).append(v)
+        got = split_only(labels).components()
+        assert got == legacy
+        assert list(got) == list(legacy)
 
 
 class TestForest:
