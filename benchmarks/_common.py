@@ -66,6 +66,38 @@ def write_bench_json(path: str, payload: dict) -> None:
     print(f"wrote {path}")
 
 
+#: Disabled-tracer regression bar (docs/observability.md): after a
+#: ``capture()`` session exits, an untraced run must stay within this
+#: fraction of a run that never saw a tracer, plus an absolute slack for
+#: timer noise on small shapes.
+DISABLED_OVERHEAD_LIMIT = 0.03
+DISABLED_OVERHEAD_SLACK_S = 0.05
+
+
+def add_trace_argument(parser) -> None:
+    """Standard ``--trace PATH`` flag for the benches that support the
+    ISSUE 9 trace satellite: capture a ``trace/v1`` round trace
+    (:mod:`repro.obs`) of an extra traced-vs-untraced invariance run and
+    record the overhead percentages in the JSON ``checks``."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "capture a trace/v1 round trace (repro.obs) of a "
+            "traced-vs-untraced invariance run to PATH and record the "
+            "trace overhead in the JSON checks"
+        ),
+    )
+
+
+def overhead_pct(base_seconds: float, other_seconds: float) -> float:
+    """Relative wall-clock overhead of ``other`` over ``base``, percent."""
+    if base_seconds <= 0:
+        return 0.0
+    return (other_seconds - base_seconds) / base_seconds * 100.0
+
+
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -35,7 +35,10 @@ output as S2:
 Run standalone:  ``PYTHONPATH=src python benchmarks/bench_s3_soa_scaling.py``
 (``--smoke`` for the ~30 s CI variant, ``--engine legacy|vectorized|soa``
 to restrict the stacks timed, ``--workers N`` to pin the shard count,
-``--json PATH`` for the machine-readable ``repro-bench/v1`` payload).
+``--json PATH`` for the machine-readable ``repro-bench/v1`` payload,
+``--trace PATH`` for the ISSUE 9 satellite: a traced-vs-untraced
+invariance run whose ``trace/v1`` artifact and overhead percentages land
+in the JSON ``checks``).
 """
 
 import argparse
@@ -67,6 +70,8 @@ FULL_ASSERT = (100_000, 20.0)
 SMOKE_ASSERT = (20_000, 6.0)
 FULL_WORKER_SWEEP = (1, 2, 4)
 SMOKE_WORKER_SWEEP = (1, 2)
+TRACE_N_FULL = 100_000
+TRACE_N_SMOKE = 20_000
 LAYOUT_REUSE_FACTOR = 2.0
 DELTA = 16
 NUM_CHORD_SETS = 2
@@ -291,6 +296,67 @@ def run_experiment(
     return rows, json_rows, checks, worker_counts
 
 
+def run_trace_check(smoke: bool, trace_path: str, worker_counts) -> dict:
+    """ISSUE 9 trace satellite: every traced run must build the identical
+    tree as the untraced baseline, the enabled overhead is recorded, and
+    the *disabled* path — a run after the ``capture()`` session exits —
+    must stay within the regression bar (zero-overhead-when-off)."""
+    from _common import (
+        DISABLED_OVERHEAD_LIMIT,
+        DISABLED_OVERHEAD_SLACK_S,
+        overhead_pct,
+    )
+    from repro.obs import capture
+
+    n = TRACE_N_SMOKE if smoke else TRACE_N_FULL
+    graph = overlay_like_graph(n, seed=n)
+    fr = _flood_rounds(n)
+    workers = worker_counts[0]
+
+    base_seconds, base = _soa_run_seconds(graph, fr, workers=workers, repeats=2)
+    base_sha = _tree_sha(base)
+
+    traced_seconds = None
+    with capture(trace_path, meta={"bench": "s3_soa_scaling", "n": n}):
+        for w in worker_counts:
+            start = time.perf_counter()
+            result = run_soa_rooting(
+                graph, fr, rng=np.random.default_rng(1), workers=w
+            )
+            elapsed = time.perf_counter() - start
+            assert _tree_sha(result) == base_sha, (
+                f"traced run diverged from the untraced tree at workers={w}"
+            )
+            if w == workers:
+                traced_seconds = elapsed
+    disabled_seconds, again = _soa_run_seconds(graph, fr, workers=workers, repeats=2)
+    assert _tree_sha(again) == base_sha
+
+    traced_pct = overhead_pct(base_seconds, traced_seconds)
+    disabled_pct = overhead_pct(base_seconds, disabled_seconds)
+    limit = base_seconds * (1.0 + DISABLED_OVERHEAD_LIMIT) + DISABLED_OVERHEAD_SLACK_S
+    print(
+        f"trace: n={n} traced overhead {traced_pct:+.1f}%, disabled overhead "
+        f"{disabled_pct:+.1f}% (bar {DISABLED_OVERHEAD_LIMIT:.0%}) -> {trace_path}"
+    )
+    assert disabled_seconds <= limit, (
+        f"disabled-tracer run regressed: {disabled_seconds:.3f}s vs untraced "
+        f"{base_seconds:.3f}s (bar {DISABLED_OVERHEAD_LIMIT:.0%} + "
+        f"{DISABLED_OVERHEAD_SLACK_S}s slack)"
+    )
+    return {
+        "trace_path": trace_path,
+        "n": n,
+        "workers_traced": list(worker_counts),
+        "tree_sha": base_sha,
+        "untraced_seconds": round(base_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "trace_overhead_pct": round(traced_pct, 1),
+        "disabled_overhead_pct": round(disabled_pct, 1),
+        "disabled_limit_pct": DISABLED_OVERHEAD_LIMIT * 100,
+    }
+
+
 def bench_s3_soa_scaling(benchmark):
     from _common import run_once
 
@@ -304,6 +370,9 @@ def main(argv=None) -> int:
     )
     add_engine_argument(parser, choices=TIER_CHOICES)
     add_workers_argument(parser)
+    from _common import add_trace_argument
+
+    add_trace_argument(parser)
     parser.add_argument(
         "--json",
         default=None,
@@ -314,6 +383,8 @@ def main(argv=None) -> int:
     rows, json_rows, checks, worker_counts = run_experiment(
         smoke=args.smoke, engine_filter=engine_filter, workers_cli=args.workers
     )
+    if args.trace:
+        checks["trace"] = run_trace_check(args.smoke, args.trace, worker_counts)
     if args.json:
         from _common import bench_payload, write_bench_json
 

@@ -33,7 +33,10 @@ Run standalone:
 (``--smoke`` for the ~60 s CI variant; ``--hybrid`` restricts the timed
 tiers, also via ``REPRO_HYBRID``; ``--workers N`` shards the SoA delivery
 tail of the pipeline networks via ``REPRO_WORKERS`` — bit-for-bit
-identical results at every count; ``--json PATH`` sets the result file).
+identical results at every count; ``--json PATH`` sets the result file;
+``--trace PATH`` runs the ISSUE 9 satellite: a traced/untraced pipeline
+pair plus a traced churn-rebuild cell, invariance-checked, with the
+``trace/v1`` artifact path and overhead recorded in the JSON checks).
 """
 
 import argparse
@@ -275,6 +278,63 @@ def run_churn_rebuild_sweep(smoke: bool) -> list[dict]:
     return payload["rows"]
 
 
+def run_trace_check(trace_path: str) -> dict:
+    """ISSUE 9 trace satellite: one traced/untraced hybrid pipeline pair
+    at the assert size (fingerprint equality + overhead) plus a traced
+    churn-rebuild scenario cell whose rows must match the untraced cell
+    under :func:`tier_invariant_view` — all captured as one ``trace/v1``
+    artifact with per-stage spans and per-round tables."""
+    from _common import overhead_pct
+    from repro.obs import capture
+    from repro.scenarios.runner import tier_invariant_view
+
+    n = ASSERT_N
+    graph = hybrid_input_graph(n, seed=n)
+
+    def rebuild_cell():
+        runner = ScenarioRunner(
+            sizes=(REBUILD_N_SMOKE,),
+            seeds=(0,),
+            tiers=("soa",),
+            workload="churn-rebuild",
+            overlay_params=OVERLAY_PARAMS,
+            chords=NUM_CHORD_SETS,
+        )
+        spec = ScenarioSpec(
+            name="rebuild/churn10",
+            crashes=(CrashWave(round_no=2, fraction=0.1),),
+            fault_seed=1,
+        )
+        return runner.run_grid((spec,))["rows"]
+
+    t0 = time.perf_counter()
+    base = run_stages("soa", graph, seed=1)
+    base_seconds = time.perf_counter() - t0
+    untraced_rows = rebuild_cell()
+
+    with capture(trace_path, meta={"bench": "s5_hybrid_scaling", "n": n}):
+        t0 = time.perf_counter()
+        traced = run_stages("soa", graph, seed=1)
+        traced_seconds = time.perf_counter() - t0
+        traced_rows = rebuild_cell()
+
+    assert traced[3] == base[3], "tracing changed the hybrid pipeline output"
+    assert [tier_invariant_view(r) for r in traced_rows] == [
+        tier_invariant_view(r) for r in untraced_rows
+    ], "tracing changed the churn-rebuild scenario rows"
+    pct = overhead_pct(base_seconds, traced_seconds)
+    print(f"trace: n={n} traced pipeline overhead {pct:+.1f}% -> {trace_path}")
+    return {
+        "trace_path": trace_path,
+        "n": n,
+        "rebuild_n": REBUILD_N_SMOKE,
+        "untraced_seconds": round(base_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "trace_overhead_pct": round(pct, 1),
+        "rebuild_rows_invariant": True,
+    }
+
+
 def bench_s5_hybrid_scaling(benchmark):
     from _common import run_once
 
@@ -295,6 +355,9 @@ def main(argv=None) -> int:
         help="restrict the timed tiers (default: REPRO_HYBRID env var or both)",
     )
     add_workers_argument(parser)
+    from _common import add_trace_argument
+
+    add_trace_argument(parser)
     parser.add_argument(
         "--json",
         default="bench_s5_results.json",
@@ -314,6 +377,9 @@ def main(argv=None) -> int:
     rebuild_rows = []
     if hybrid_filter in (None, "soa"):
         rebuild_rows = run_churn_rebuild_sweep(smoke=args.smoke)
+    trace_check = None
+    if args.trace:
+        trace_check = run_trace_check(args.trace)
     from _common import bench_payload, write_bench_json
 
     payload = bench_payload(
@@ -343,6 +409,7 @@ def main(argv=None) -> int:
             "wellform_speedup_at_assert_n": (
                 round(wellform_speedup, 2) if wellform_speedup else None
             ),
+            "trace": trace_check,
         },
         extra={"churn_rebuild": rebuild_rows},
     )

@@ -14,7 +14,8 @@ Rule numbering groups by contract family:
 - ``RL1xx`` — RNG discipline (canonical generator usage);
 - ``RL2xx`` — determinism hazards (iteration order, wall clock);
 - ``RL3xx`` — columnar contracts (shared delivery columns, dtype lanes);
-- ``RL4xx`` — shard safety (disjoint writes inside worker bodies).
+- ``RL4xx`` — shard safety (disjoint writes inside worker bodies);
+- ``RL5xx`` — probe purity (telemetry observes, never perturbs).
 
 Suppressions are source comments, checked per physical line of the
 flagged statement:
@@ -188,6 +189,7 @@ def all_rules() -> list[type[Rule]]:
     from repro.analysis import (  # noqa: F401
         rules_columnar,
         rules_determinism,
+        rules_obs,
         rules_rng,
         rules_shard,
     )

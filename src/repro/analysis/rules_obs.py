@@ -1,0 +1,126 @@
+"""Probe-purity rules (RL5xx): telemetry observes, never perturbs.
+
+The round-trace layer (:mod:`repro.obs`) guarantees that a traced run is
+bit-for-bit identical to an untraced one (docs/contracts.md C7): tracing
+reads metric deltas and timestamps around an unchanged inner round, and
+never draws randomness or writes back into engine state.  The runtime
+side of the contract is the traced-vs-untraced invariance matrices in
+``tests/obs/``; these rules catch the two ways a probe can break it at
+review time:
+
+- **RL501** — a probe draws from an RNG.  Any draw inside telemetry code
+  advances a generator the engine also consumes, so enabling the trace
+  shifts every subsequent fault/delay decision (``rng.spawn()`` is the
+  sanctioned derivation and stays exempt).
+- **RL502** — a probe mutates its observed arguments.  A store through a
+  non-``self`` parameter (``counts[0] = -1``, ``batch.kinds = ...``)
+  turns an observer into a participant: the traced run no longer
+  executes the same state transitions as the untraced one.
+
+*Probe scope* is everything in ``src/repro/obs/`` plus any function whose
+name starts with ``probe_`` or ``on_trace_`` anywhere else — the naming
+convention for user-supplied trace callbacks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import call_name, is_rng_name
+from repro.analysis.rules import Rule, register
+
+__all__ = ["ProbeRngDraw", "ProbeParamMutation"]
+
+#: Files that are probe scope in their entirety.
+_OBS_PREFIX = "src/repro/obs/"
+
+#: Function-name prefixes marking user-supplied trace callbacks.
+_PROBE_FN_PREFIXES = ("probe_", "on_trace_")
+
+
+def _in_probe_scope(ctx) -> bool:
+    """Is the walker currently inside telemetry code?"""
+    if ctx.rel_path.startswith(_OBS_PREFIX):
+        return True
+    for node in ctx.scope_stack:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith(_PROBE_FN_PREFIXES):
+                return True
+    return False
+
+
+@register
+class ProbeRngDraw(Rule):
+    code = "RL501"
+    name = "probe-rng-draw"
+    description = "RNG draw inside telemetry/probe code"
+    contract = (
+        "Probes never draw randomness: a draw inside trace code advances "
+        "a generator the engine consumes, so tracing would shift every "
+        "subsequent fault and delay decision."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not _in_probe_scope(self.ctx):
+            return
+        chain = call_name(node)
+        if chain is None or "." not in chain:
+            return
+        owner, method = chain.rsplit(".", 1)
+        if method == "spawn":
+            return
+        if is_rng_name(owner.split(".")[-1]):
+            self.report(
+                node,
+                f"RNG draw '{chain}' inside probe scope: telemetry must "
+                "leave every generator's stream untouched (traced and "
+                "untraced runs share the RNG consumption order)",
+            )
+
+
+@register
+class ProbeParamMutation(Rule):
+    code = "RL502"
+    name = "probe-param-mutation"
+    description = "store through a probe's observed argument"
+    contract = (
+        "Probes observe by value: no subscript or attribute store whose "
+        "base is a non-self parameter — a probe that writes back turns "
+        "tracing into a state transition."
+    )
+
+    def _param_names(self, fn: ast.AST) -> set[str]:
+        a = fn.args
+        names = {arg.arg for arg in a.posonlyargs + a.args + a.kwonlyargs}
+        for var in (a.vararg, a.kwarg):
+            if var is not None:
+                names.add(var.arg)
+        names.discard("self")
+        names.discard("cls")
+        return names
+
+    def _check_target(self, target: ast.AST) -> None:
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return
+        if not _in_probe_scope(self.ctx):
+            return
+        fn = self.ctx.current_function()
+        if fn is None:
+            return
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in self._param_names(fn):
+            self.report(
+                target,
+                f"probe writes through its argument '{base.id}': telemetry "
+                "code must not mutate observed state — copy before writing "
+                "or record into the tracer's own tables",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)

@@ -191,6 +191,7 @@ def run_soa_rooting(
     max_rounds: int | None = None,
     engine: str = "vectorized",
     workers: int | None = None,
+    tracer=None,
 ) -> TreeProtocolResult:
     """SoA counterpart of :func:`~repro.core.protocol_tree.run_batch_rooting`.
 
@@ -202,6 +203,8 @@ def run_soa_rooting(
     and rejected for anything else.  ``workers`` shards the delivery
     tail's receiver sort (``None`` → ``REPRO_WORKERS``); every worker
     count produces the identical execution, fault streams included.
+    ``tracer`` records a per-round trace (:mod:`repro.obs`) without
+    perturbing the run.
     """
     if engine != "vectorized":
         raise ValueError(
@@ -211,7 +214,9 @@ def run_soa_rooting(
         graph, flood_rounds, rng, capacity, max_rounds
     )
     cls = SoARootingClass(*csr_neighbors(graph), flood_rounds)
-    network = SyncNetwork(cls, capacity, rng, engine=engine, workers=workers)
+    network = SyncNetwork(
+        cls, capacity, rng, engine=engine, workers=workers, tracer=tracer
+    )
     metrics = network.run(max_rounds=max_rounds)
     return collect_soa_result(cls, metrics)
 

@@ -300,6 +300,7 @@ def connected_components_hybrid(
     overlay_params: HybridOverlayParams | None = None,
     record_traces: bool = False,
     tier: str = "object",
+    tracer=None,
 ) -> ComponentsResult:
     """Theorem 1.2: well-formed trees on every connected component.
 
@@ -333,31 +334,48 @@ def connected_components_hybrid(
             m_bound=m_bound,
             overlay_params=overlay_params,
             record_traces=record_traces,
+            tracer=tracer,
         )
+    from repro.obs import maybe_span, resolve_tracer
+
     if rng is None:
         rng = np.random.default_rng(0)
+    tracer = resolve_tracer(tracer)
     adj = adjacency_sets(graph)
     ledger = HybridLedger()
 
-    spanner = build_spanner(graph, rng=rng, component_bound=m_bound)
+    with maybe_span(tracer, "spanner_broadcast", cat="stage", tier="object") as sp:
+        spanner = build_spanner(graph, rng=rng, component_bound=m_bound)
+        if sp is not None:
+            sp.attrs["rounds"] = int(spanner.rounds)
     ledger.charge("spanner_broadcast", local_rounds=spanner.rounds)
 
-    reduced = reduce_degree(spanner)
+    with maybe_span(tracer, "degree_reduction", cat="stage", tier="object") as sp:
+        reduced = reduce_degree(spanner)
+        if sp is not None:
+            sp.attrs["rounds"] = int(reduced.rounds)
     ledger.charge("degree_reduction", local_rounds=reduced.rounds)
 
-    overlay = build_hybrid_overlay(
-        reduced.adj,
-        rng=rng,
-        params=overlay_params,
-        record_traces=record_traces,
-        m_bound=m_bound,
-    )
+    with maybe_span(tracer, "overlay_evolutions", cat="stage", tier="object"):
+        overlay = build_hybrid_overlay(
+            reduced.adj,
+            rng=rng,
+            params=overlay_params,
+            record_traces=record_traces,
+            m_bound=m_bound,
+        )
     ledger.merge(overlay.ledger, prefix="overlay/")
 
-    bfs = build_bfs_forest(overlay.final_graph)
+    with maybe_span(tracer, "min_id_flood_and_bfs", cat="stage", tier="object") as sp:
+        bfs = build_bfs_forest(overlay.final_graph)
+        if sp is not None:
+            sp.attrs["rounds"] = int(bfs.rounds)
     ledger.charge("min_id_flood_and_bfs", global_rounds=bfs.rounds)
 
-    forest = well_formed_forest(bfs)
+    with maybe_span(tracer, "well_forming", cat="stage", tier="object") as sp:
+        forest = well_formed_forest(bfs)
+        if sp is not None:
+            sp.attrs["rounds"] = int(forest.rounds)
     ledger.charge("well_forming", global_rounds=forest.rounds)
 
     # Sanity: the overlay may only merge knowledge *within* components of

@@ -895,6 +895,7 @@ def connected_components_hybrid_soa(
     m_bound: int | None = None,
     overlay_params=None,
     record_traces: bool = False,
+    tracer=None,
 ):
     """Columnar Theorem 1.2 pipeline (spanner → reduction → overlay →
     flood/BFS → well-forming).
@@ -906,35 +907,55 @@ def connected_components_hybrid_soa(
     forests, overlay graphs, and ledger summaries are bit-for-bit the
     per-node :func:`~repro.hybrid.components.connected_components_hybrid`
     outputs under a shared seed.
+
+    ``tracer`` (or an ambient :func:`repro.obs.capture` scope) records
+    each stage boundary as a ``cat="stage"`` span annotated with the
+    stage's round charge — observation only, after the stage returns, so
+    traced and untraced runs are bit-for-bit identical.
     """
     from repro.hybrid.components import (
         ComponentsResult,
         well_formed_forest_columns,
     )
+    from repro.obs import maybe_span, resolve_tracer
 
     if rng is None:
         rng = np.random.default_rng(0)
+    tracer = resolve_tracer(tracer)
     ledger = SoAHybridLedger()
 
-    spanner = build_spanner_soa(graph, rng=rng, component_bound=m_bound)
+    with maybe_span(tracer, "spanner_broadcast", cat="stage", tier="soa") as sp:
+        spanner = build_spanner_soa(graph, rng=rng, component_bound=m_bound)
+        if sp is not None:
+            sp.attrs["rounds"] = int(spanner.rounds)
     ledger.charge("spanner_broadcast", local_rounds=spanner.rounds)
 
-    reduced = reduce_degree_soa(spanner)
+    with maybe_span(tracer, "degree_reduction", cat="stage", tier="soa") as sp:
+        reduced = reduce_degree_soa(spanner)
+        if sp is not None:
+            sp.attrs["rounds"] = int(reduced.rounds)
     ledger.charge("degree_reduction", local_rounds=reduced.rounds)
 
-    overlay = build_hybrid_overlay_soa(
-        reduced,
-        rng=rng,
-        params=overlay_params,
-        record_traces=record_traces,
-        m_bound=m_bound,
-    )
+    with maybe_span(tracer, "overlay_evolutions", cat="stage", tier="soa"):
+        overlay = build_hybrid_overlay_soa(
+            reduced,
+            rng=rng,
+            params=overlay_params,
+            record_traces=record_traces,
+            m_bound=m_bound,
+        )
     ledger.merge(overlay.ledger, prefix="overlay/")
 
-    bfs = build_bfs_forest_soa(overlay.final_graph)
+    with maybe_span(tracer, "min_id_flood_and_bfs", cat="stage", tier="soa") as sp:
+        bfs = build_bfs_forest_soa(overlay.final_graph)
+        if sp is not None:
+            sp.attrs["rounds"] = int(bfs.rounds)
     ledger.charge("min_id_flood_and_bfs", global_rounds=bfs.rounds)
 
-    forest = well_formed_forest_columns(bfs)
+    with maybe_span(tracer, "well_forming", cat="stage", tier="soa") as sp:
+        forest = well_formed_forest_columns(bfs)
+        if sp is not None:
+            sp.attrs["rounds"] = int(forest.rounds)
     ledger.charge("well_forming", global_rounds=forest.rounds)
 
     return ComponentsResult(

@@ -79,6 +79,7 @@ def run_with_asynchrony(
     require_quiescence: bool = True,
     fault_hook=None,
     workers: int | None = None,
+    tracer=None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Run a protocol under random message delays with a synchroniser.
 
@@ -108,6 +109,8 @@ def run_with_asynchrony(
     network (see :class:`SyncNetwork`).  ``workers`` shards the SoA
     delivery tail (``None`` → ``REPRO_WORKERS``); the per-node tiers
     ignore it, and every worker count yields the identical execution.
+    ``tracer`` records a per-round trace (:mod:`repro.obs`) — pure
+    observation, so a traced run is bit-for-bit the untraced one.
 
     Returns the timing report and the (already run) network, whose nodes
     hold the protocol's results.
@@ -141,8 +144,11 @@ def run_with_asynchrony(
             require_quiescence=require_quiescence,
             fault_hook=fault_hook,
             workers=workers,
+            tracer=tracer,
         )
-    network = SyncNetwork(nodes, capacity, rng, engine=engine, fault_hook=fault_hook)
+    network = SyncNetwork(
+        nodes, capacity, rng, engine=engine, fault_hook=fault_hook, tracer=tracer
+    )
     observed = 0
     rounds = 0
     converged = False

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro import sanitize as _sanitize
 from repro.net.batch import KINDS, MessageBatch, pair_payload
+from repro.obs import resolve_tracer
 from repro.net.message import Message
 from repro.net.shard import resolve_workers
 from repro.net.soa import SoAInbox, SoAProtocolClass
@@ -61,6 +62,7 @@ __all__ = [
     "CapacityPolicy",
     "NetworkMetrics",
     "NodeCounts",
+    "RoundMetricsView",
     "ProtocolNode",
     "BatchProtocolNode",
     "SoAProtocolClass",
@@ -299,6 +301,67 @@ class NodeCounts:
         return f"NodeCounts({self._dict!r})"
 
 
+class RoundMetricsView:
+    """Lazy per-round view over a traced run's ``net`` round table.
+
+    :class:`NetworkMetrics` totals are cumulative — "how many fault
+    drops happened *in round 7*" used to be unanswerable without hand
+    instrumentation.  On a traced run the network records per-round
+    deltas into a columnar :class:`repro.obs.RoundTrace`, and this view
+    (the :class:`NodeCounts` idiom: a thin wrapper, columns cut lazily)
+    exposes them via ``metrics.per_round``.  Untraced runs materialise
+    nothing: ``metrics.per_round`` stays ``None``.
+
+    Every accessor returns a numpy int64/float64 view of length
+    ``len(view)`` = rounds recorded so far; index ``i`` is the delta for
+    round ``rounds()[i]``.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace) -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def column(self, name: str) -> np.ndarray:
+        return self._trace.column(name)
+
+    def rounds(self) -> np.ndarray:
+        return self.column("round")
+
+    def inbox_sizes(self) -> np.ndarray:
+        """Messages consumed from the staged inbox at each round start."""
+        return self.column("inbox")
+
+    def messages_sent(self) -> np.ndarray:
+        return self.column("sent")
+
+    def delivered(self) -> np.ndarray:
+        """Messages staged for next-round delivery (local ones included)."""
+        return self.column("delivered")
+
+    def fault_drops(self) -> np.ndarray:
+        return self.column("fault_drops")
+
+    def send_drops(self) -> np.ndarray:
+        return self.column("send_drops")
+
+    def receive_drops(self) -> np.ndarray:
+        return self.column("receive_drops")
+
+    def layout_hits(self) -> np.ndarray:
+        """1 where the round reused the cached receiver-sorted layout."""
+        return self.column("layout_hit")
+
+    def seconds(self) -> np.ndarray:
+        return self.column("seconds")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoundMetricsView(rounds={len(self)})"
+
+
 @dataclass
 class NetworkMetrics:
     """Aggregated communication statistics over a simulation.
@@ -325,6 +388,13 @@ class NetworkMetrics:
     in_flight_at_stop: int = 0
     sent_per_node: NodeCounts = field(default_factory=NodeCounts)
     received_per_node: NodeCounts = field(default_factory=NodeCounts)
+    # Per-round deltas, populated only on traced runs (None otherwise —
+    # no materialisation on the untraced path).  Excluded from equality
+    # and from ``as_dict()``: the cross-tier equality surface is the
+    # simulated totals, never the telemetry.
+    per_round: "RoundMetricsView | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def total_drops(self) -> int:
@@ -427,6 +497,7 @@ class SyncNetwork:
         engine: str = "vectorized",
         fault_hook: Callable[[int, np.ndarray, np.ndarray], np.ndarray | None] | None = None,
         workers: int | None = None,
+        tracer=None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -496,6 +567,43 @@ class SyncNetwork:
         # (identity-trusting, re-gathers every column every round) — the
         # control arm of bench_s3's re-sort-elimination measurement.
         self._reuse_layouts = os.environ.get("REPRO_SOA_LAYOUT_REUSE", "1") != "0"
+        # ---- round-trace telemetry (C7: observes, never steers) -------
+        # Resolution order: explicit kwarg > ambient capture()/activate()
+        # tracer > REPRO_TRACE env singleton.  Untraced runs keep every
+        # probe at a single ``is None`` check and materialise nothing.
+        tr = resolve_tracer(tracer)
+        self._tracer = tr
+        self._round_trace = None
+        self._shard_trace = None
+        self._shard_ops_seen = 0
+        self._layout_hit = False
+        if tr is not None:
+            tier = (
+                "soa"
+                if self._soa is not None
+                else ("batch" if self._any_batch else "object")
+            )
+            self._trace_clock = tr.clock
+            self._round_trace = tr.table(
+                "net",
+                (
+                    "round",
+                    "inbox",
+                    "sent",
+                    "delivered",
+                    "fault_drops",
+                    "send_drops",
+                    "receive_drops",
+                    "layout_hit",
+                ),
+                meta={
+                    "tier": tier,
+                    "engine": engine,
+                    "n": n,
+                    "workers": self._workers,
+                },
+            )
+            self._metrics.per_round = RoundMetricsView(self._round_trace)
 
     # ------------------------------------------------------------------
     @property
@@ -548,7 +656,69 @@ class SyncNetwork:
         Nodes producing nothing are skipped by delivery entirely; a node's
         outgoing traffic is validated (no forged senders) before any of it
         enters the network.
+
+        On a traced run (see :mod:`repro.obs`) the round is additionally
+        recorded into the ``net`` round table as metric *deltas* around
+        the unchanged inner round — tracing reads counters after the
+        fact and never touches RNG streams or delivery order, so a
+        traced execution is bit-for-bit the untraced one.
         """
+        rt = self._round_trace
+        if rt is None:
+            self._run_round_inner()
+            return
+        clock = self._trace_clock
+        start = clock()
+        m = self._metrics
+        inbox0 = self._pending_count
+        msgs0 = m.total_messages
+        fault0 = m.fault_drops
+        send0 = m.send_drops
+        recv0 = m.receive_drops
+        self._layout_hit = False
+        self._run_round_inner()
+        rt.append(
+            self.round_no - 1,
+            inbox0,
+            m.total_messages - msgs0,
+            self._pending_count,
+            m.fault_drops - fault0,
+            m.send_drops - send0,
+            m.receive_drops - recv0,
+            1 if self._layout_hit else 0,
+            clock() - start,
+        )
+        if self._shards is not None:
+            self._record_shard_rounds()
+
+    def _record_shard_rounds(self) -> None:
+        """Append the pool's per-worker stats for ops since last seen.
+
+        The pool keeps per-worker message counts and wall seconds of its
+        most recent op (sort or gather); at most one op happens per
+        round, so comparing ``op_seq`` against a high-water mark turns
+        those into per-round shard rows without touching the workers.
+        """
+        pool = self._shards
+        if pool is None or pool.op_seq == self._shard_ops_seen:
+            return
+        self._shard_ops_seen = pool.op_seq
+        st = self._shard_trace
+        if st is None:
+            st = self._tracer.table(
+                "shard",
+                ("round", "shard", "messages", "op"),
+                meta={"n": self._n, "workers": pool.workers},
+            )
+            self._shard_trace = st
+        op = 0 if pool.last_op == "sort" else 1
+        round_no = self.round_no - 1
+        counts = pool.last_counts
+        seconds = pool.last_seconds
+        for w in range(pool.workers):
+            st.append(round_no, w, int(counts[w]), op, float(seconds[w]))
+
+    def _run_round_inner(self) -> None:
         if self._soa is not None:
             inbox = self._soa_inbox
             self._soa_inbox = SoAInbox.empty()
@@ -1267,6 +1437,8 @@ class SyncNetwork:
         )
         pool = self._shards
         if rcv_ok and rcv_idx is lay.rcv and lay.order is not None:
+            if self._round_trace is not None:
+                self._layout_hit = True
             order = lay.order
             rcv_s = lay.rcv_s if lay.rcv_s is not None else rcv_idx[order]
             seg = (

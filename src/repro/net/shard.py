@@ -45,6 +45,7 @@ from __future__ import annotations
 import mmap
 import multiprocessing as mp
 import os
+import time
 import warnings
 import weakref
 
@@ -186,6 +187,10 @@ def _worker_loop(conn, cols, lo: int, hi: int) -> None:
         try:
             if op == "sort":
                 _, m, off, gen, want_pay2 = job
+                # Per-job wall seconds ride back on the reply so a traced
+                # run can report shard balance; measurement is telemetry's
+                # job, the sort itself stays seed-determined.
+                start = time.perf_counter()  # repro-lint: disable=RL202
                 rcv = rcv_in[:m]
                 sel = np.flatnonzero((rcv >= lo) & (rcv < hi))
                 # sel is ascending, so this is the stable sort of a
@@ -201,22 +206,25 @@ def _worker_loop(conn, cols, lo: int, hi: int) -> None:
                 pay_out[off:end] = pay_in[local]
                 if want_pay2:
                     pay2_out[off:end] = pay2_in[local]
-                conn.send(("ok", k))
+                dt = time.perf_counter() - start  # repro-lint: disable=RL202
+                conn.send(("ok", k, dt))
             elif op == "gather":
                 _, gen, want_pay2 = job
                 if local is None or gen != gen_seen:
-                    conn.send(("error", "stale shard generation"))
+                    conn.send(("error", "stale shard generation", 0.0))
                     continue
+                start = time.perf_counter()  # repro-lint: disable=RL202
                 end = off_seen + local.shape[0]
                 pay_out[off_seen:end] = pay_in[local]
                 if want_pay2:
                     pay2_out[off_seen:end] = pay2_in[local]
-                conn.send(("ok", int(local.shape[0])))
+                dt = time.perf_counter() - start  # repro-lint: disable=RL202
+                conn.send(("ok", int(local.shape[0]), dt))
             else:
-                conn.send(("error", f"unknown shard op {op!r}"))
+                conn.send(("error", f"unknown shard op {op!r}", 0.0))
         except Exception as exc:  # pragma: no cover - defensive relay
             try:
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
             except OSError:
                 break
     conn.close()
@@ -266,6 +274,14 @@ class ShardPool:
         self.workers = int(workers)
         self.bounds = shard_bounds(self.n, self.workers)
         self.gen = 0
+        # Telemetry of the most recent op (sort or gather): per-worker
+        # message counts and wall seconds, plus an op sequence number so
+        # a traced network can turn "ops since last seen" into per-round
+        # shard rows.  Pure observation — never read by the sort itself.
+        self.last_counts = np.zeros(self.workers, dtype=np.int64)
+        self.last_seconds = np.zeros(self.workers, dtype=np.float64)
+        self.last_op: str | None = None
+        self.op_seq = 0
         self._capacity = 0
         self._cols: dict[str, np.ndarray] | None = None
         self._procs: list = []
@@ -344,9 +360,11 @@ class ShardPool:
         for w, conn in enumerate(self._conns):
             if not conn.poll(_WORKER_TIMEOUT):  # pragma: no cover
                 raise RuntimeError(f"shard worker {w} timed out")
-            tag, val = conn.recv()
+            tag, val, dt = conn.recv()
             if tag != "ok":
                 raise RuntimeError(f"shard worker {w} failed: {val}")
+            self.last_counts[w] = val
+            self.last_seconds[w] = dt
             total += val
         return total
 
@@ -355,6 +373,7 @@ class ShardPool:
         rcv = cols["rcv"][:m]
         self._serial_cache = []
         for w in range(self.workers):
+            start = time.perf_counter()  # repro-lint: disable=RL202
             lo, hi = int(self.bounds[w]), int(self.bounds[w + 1])
             sel = np.flatnonzero((rcv >= lo) & (rcv < hi))
             perm = group_argsort(rcv[sel] - lo, hi - lo)
@@ -368,6 +387,8 @@ class ShardPool:
             if want_pay2:
                 cols["pay2_s"][off:end] = cols["pay2"][local]
             self._serial_cache.append((local, off))
+            self.last_counts[w] = local.shape[0]
+            self.last_seconds[w] = time.perf_counter() - start  # repro-lint: disable=RL202
 
     # ------------------------------------------------------------------
     def sort_round(
@@ -448,6 +469,8 @@ class ShardPool:
                     "its range"
                 )
             _sanitize.check_receiver_sorted("rcv_s", cols["rcv_s"][:m])
+        self.last_op = "sort"
+        self.op_seq += 1
         return (
             cols["order"][:m].copy(),
             cols["rcv_s"][:m].copy(),
@@ -474,15 +497,20 @@ class ShardPool:
         if want_pay2:
             cols["pay2"][:m] = pay2_all
         if self._serial:
-            for local, off in self._serial_cache:
+            for w, (local, off) in enumerate(self._serial_cache):
+                start = time.perf_counter()  # repro-lint: disable=RL202
                 end = off + local.shape[0]
                 cols["pay_s"][off:end] = cols["pay"][local]
                 if want_pay2:
                     cols["pay2_s"][off:end] = cols["pay2"][local]
+                self.last_counts[w] = local.shape[0]
+                self.last_seconds[w] = time.perf_counter() - start  # repro-lint: disable=RL202
         else:
             for conn in self._conns:
                 conn.send(("gather", gen, want_pay2))
             self._collect()
+        self.last_op = "gather"
+        self.op_seq += 1
         return (
             cols["pay_s"][:m].copy(),
             cols["pay2_s"][:m].copy() if want_pay2 else None,

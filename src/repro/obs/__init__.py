@@ -1,0 +1,46 @@
+"""Round-trace telemetry: spans, counters, columnar round tables.
+
+Zero-overhead when disabled, bit-for-bit invariant when enabled (C7 in
+``docs/contracts.md``).  See ``docs/observability.md`` for the span
+model, the trace/v1 schema, and the ``python -m repro.obs`` CLI.
+
+This package imports only numpy and the stdlib — never ``repro.net`` —
+so the engine can import it from inside the package-init chain without
+cycles (the same shape as ``repro.sanitize``).
+"""
+
+from repro.obs.trace_io import (
+    TRACE_SCHEMA,
+    TableData,
+    TraceData,
+    read_trace,
+    write_trace,
+)
+from repro.obs.tracer import (
+    TRACE_ENV,
+    RoundTrace,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    capture,
+    maybe_span,
+    resolve_tracer,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_SCHEMA",
+    "RoundTrace",
+    "Span",
+    "TableData",
+    "TraceData",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "capture",
+    "maybe_span",
+    "read_trace",
+    "resolve_tracer",
+    "write_trace",
+]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.obs <summary|diff|timeline> ...``."""
+
+from repro.obs.cli import main
+
+raise SystemExit(main())

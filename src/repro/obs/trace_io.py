@@ -1,0 +1,171 @@
+"""trace/v1 JSON-lines serialisation for :mod:`repro.obs`.
+
+One header line pins the schema, then one record per line:
+
+- ``{"schema": "trace/v1", "meta": {...}}`` — header (always first);
+- ``{"t": "span", "id", "parent", "name", "cat", "start", "end",
+  "attrs"}`` — one per span, in open order;
+- ``{"t": "counter", "name", "ts", "value", "attrs"}`` — counter
+  events;
+- ``{"t": "table", "name", "kind", "meta", "columns",
+  "float_columns", "rows"}`` — one per columnar table, rows
+  row-major in column order (int lanes first).
+
+JSON-lines keeps the artifact greppable and streamable; the reader
+(:func:`read_trace`) rebuilds numpy columns so the CLI aggregates
+without row loops.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TableData",
+    "TraceData",
+    "read_trace",
+    "write_trace",
+]
+
+TRACE_SCHEMA = "trace/v1"
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars leaking into span attrs."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not trace/v1 serialisable: {type(value).__name__}")
+
+
+def write_trace(path: str, tracer: Tracer) -> str:
+    """Write ``tracer``'s spans, counters, and tables as trace/v1."""
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {"schema": TRACE_SCHEMA, "meta": tracer.meta}
+        fh.write(json.dumps(header, default=_jsonable) + "\n")
+        for sp in tracer.spans:
+            record = sp.as_dict()
+            record["t"] = "span"
+            fh.write(json.dumps(record, default=_jsonable) + "\n")
+        for name, ts, value, attrs in tracer.counters:
+            record = {
+                "t": "counter",
+                "name": name,
+                "ts": ts,
+                "value": value,
+                "attrs": attrs or {},
+            }
+            fh.write(json.dumps(record, default=_jsonable) + "\n")
+        for table in tracer.tables:
+            record = {
+                "t": "table",
+                "name": table.name,
+                "kind": table.kind,
+                "meta": table.meta,
+                "columns": list(table.int_columns),
+                "float_columns": list(table.float_columns),
+                "rows": table.rows(),
+            }
+            fh.write(json.dumps(record, default=_jsonable) + "\n")
+    return path
+
+
+@dataclass
+class TableData:
+    """One deserialised columnar table: ``data`` maps every column
+    (int and float lanes alike) to a 1-D numpy array."""
+
+    name: str
+    kind: str
+    meta: dict
+    int_columns: tuple
+    float_columns: tuple
+    data: dict = field(default_factory=dict)
+
+    @property
+    def columns(self) -> tuple:
+        return self.int_columns + self.float_columns
+
+    def __len__(self) -> int:
+        if not self.data:
+            return 0
+        return len(next(iter(self.data.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        return self.data[name]
+
+
+@dataclass
+class TraceData:
+    """A fully deserialised trace/v1 artifact."""
+
+    meta: dict
+    spans: list
+    counters: list
+    tables: list
+
+    def tables_of(self, kind: str) -> list:
+        return [t for t in self.tables if t.kind == kind]
+
+
+def _parse_table(record: dict) -> TableData:
+    int_columns = tuple(record["columns"])
+    float_columns = tuple(record["float_columns"])
+    columns = int_columns + float_columns
+    rows = record["rows"]
+    n_int = len(int_columns)
+    data = {}
+    for j, name in enumerate(columns):
+        dtype = np.int64 if j < n_int else np.float64
+        data[name] = np.array([row[j] for row in rows], dtype=dtype)
+    return TableData(
+        name=record["name"],
+        kind=record["kind"],
+        meta=record.get("meta") or {},
+        int_columns=int_columns,
+        float_columns=float_columns,
+        data=data,
+    )
+
+
+def read_trace(path: str) -> TraceData:
+    """Read a trace/v1 artifact back into numpy-columned tables."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        schema = header.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {TRACE_SCHEMA!r}, got {schema!r}"
+            )
+        spans: list = []
+        counters: list = []
+        tables: list = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            tag = record.get("t")
+            if tag == "span":
+                spans.append(record)
+            elif tag == "counter":
+                counters.append(record)
+            elif tag == "table":
+                tables.append(_parse_table(record))
+            else:
+                raise ValueError(f"{path}: unknown trace/v1 record {tag!r}")
+    return TraceData(
+        meta=header.get("meta") or {},
+        spans=spans,
+        counters=counters,
+        tables=tables,
+    )

@@ -37,6 +37,7 @@ from repro.core.protocol_tree import ROOTING_TIERS, build_rooting_population
 from repro.graphs.portgraph import PortGraph
 from repro.net.asynchrony import run_with_asynchrony
 from repro.net.network import CapacityPolicy
+from repro.obs import maybe_span, resolve_tracer
 from repro.scenarios.spec import (
     CrashWave,
     LinkDelay,
@@ -62,13 +63,16 @@ def run_rooting_scenario(
     tier: str = "soa",
     capacity: CapacityPolicy | None = None,
     max_rounds: int | None = None,
+    tracer=None,
 ) -> dict:
     """Run one scenario cell: rooting on ``graph`` under ``spec``.
 
     Returns a flat JSON-able row.  The delivery RNG is seeded with
     ``seed``; the adversary draws only from the spec's own fault streams,
     so matched ``(spec, seed)`` cells see identical executions across
-    tiers.
+    tiers.  A resolved ``tracer`` (kwarg or ambient — see
+    :mod:`repro.obs`) wraps the cell in a ``cat="scenario"`` span and
+    records the per-round tables underneath; rows are unchanged.
     """
     n = graph.n
     fr = rooting_flood_rounds(n)
@@ -78,18 +82,29 @@ def run_rooting_scenario(
         max_rounds = 5 * fr + 8  # the rooting runners' default budget
     population = build_rooting_population(graph, fr, tier)
     injector = spec.compile(n)
+    tracer = resolve_tracer(tracer)
     # Wall time is this harness's deliverable (scenario rows report
     # duration); measurement is the point here.
     start = time.perf_counter()  # repro-lint: disable=RL202
-    report, network = run_with_asynchrony(
-        population,
-        capacity,
-        np.random.default_rng(seed),
-        max_delay=spec.max_delay,
-        max_rounds=max_rounds,
-        require_quiescence=False,
-        fault_hook=injector,
-    )
+    with maybe_span(
+        tracer,
+        spec.name,
+        cat="scenario",
+        workload="rooting",
+        n=n,
+        tier=tier,
+        seed=seed,
+    ) as span:
+        report, network = run_with_asynchrony(
+            population,
+            capacity,
+            np.random.default_rng(seed),
+            max_delay=spec.max_delay,
+            max_rounds=max_rounds,
+            require_quiescence=False,
+            fault_hook=injector,
+            tracer=tracer,
+        )
     wall = time.perf_counter() - start  # repro-lint: disable=RL202
     if tier == "soa":
         parent, depth = population.parent, population.depth
@@ -102,6 +117,10 @@ def run_rooting_scenario(
         )
     roots = np.flatnonzero(parent == np.arange(n, dtype=np.int64))
     metrics = network.metrics
+    if span is not None:
+        span.attrs["converged"] = bool(report.converged)
+        span.attrs["rounds"] = int(report.logical_rounds)
+        span.attrs["fault_drops"] = int(metrics.fault_drops)
     return {
         "scenario": spec.describe(),
         "n": n,
@@ -130,6 +149,7 @@ def run_churn_rebuild_scenario(
     seed: int,
     tier: str = "soa",
     overlay_params=None,
+    tracer=None,
 ) -> dict:
     """Run one scenario-driven churn-rebuild cell: the spec's crash waves
     kill their members for good, and the §4 hybrid pipeline rebuilds
@@ -168,18 +188,32 @@ def run_churn_rebuild_scenario(
     csr = CSRAdjacency.from_graph(graph).induced_by(alive)
     truth, _ = flood_min_ids_columns(csr)
 
+    tracer = resolve_tracer(tracer)
     # Wall time is this harness's deliverable (scenario rows report
     # duration); measurement is the point here.
     start = time.perf_counter()  # repro-lint: disable=RL202
-    result = connected_components_hybrid(
-        csr,
-        rng=np.random.default_rng(seed),
-        overlay_params=overlay_params,
+    with maybe_span(
+        tracer,
+        spec.name,
+        cat="scenario",
+        workload="churn-rebuild",
+        n=n,
         tier=tier,
-    )
+        seed=seed,
+    ) as span:
+        result = connected_components_hybrid(
+            csr,
+            rng=np.random.default_rng(seed),
+            overlay_params=overlay_params,
+            tier=tier,
+            tracer=tracer,
+        )
     wall = time.perf_counter() - start  # repro-lint: disable=RL202
     labels = result.labels
     roots = np.unique(labels)
+    if span is not None:
+        span.attrs["survivors"] = int(survivors.shape[0])
+        span.attrs["components"] = int(roots.shape[0])
     return {
         "scenario": spec.describe(),
         "workload": "churn-rebuild",
@@ -291,6 +325,11 @@ class ScenarioRunner:
     pipeline rebuilds per-component trees over the survivors — tiers
     from :data:`repro.hybrid.components.HYBRID_TIERS`, with
     ``overlay_params`` forwarded to the hybrid overlay).
+
+    ``tracer`` (optional) threads a :class:`repro.obs.Tracer` through
+    every cell — each row becomes a ``cat="scenario"`` span over its
+    per-round tables.  ``None`` still resolves an ambient
+    :func:`repro.obs.capture` scope inside the cell runners.
     """
 
     sizes: tuple[int, ...] = (512,)
@@ -300,6 +339,7 @@ class ScenarioRunner:
     chords: int = 2
     workload: str = "rooting"
     overlay_params: object | None = None
+    tracer: object | None = None
 
     def __post_init__(self) -> None:
         if self.workload == "rooting":
@@ -337,8 +377,11 @@ class ScenarioRunner:
                 seed,
                 tier=tier,
                 overlay_params=self.overlay_params,
+                tracer=self.tracer,
             )
-        return run_rooting_scenario(self.graph_for(n), spec, seed, tier=tier)
+        return run_rooting_scenario(
+            self.graph_for(n), spec, seed, tier=tier, tracer=self.tracer
+        )
 
     def run_spec(self, spec: ScenarioSpec) -> list[dict]:
         """All (size, tier, seed) cells of one spec."""

@@ -39,6 +39,7 @@ from repro.net.asynchrony import AsyncReport
 from repro.net.network import CapacityPolicy, SyncNetwork
 from repro.net.soa import SoAInbox, SoAProtocolClass
 from repro.net.vectorops import group_argsort
+from repro.obs import resolve_tracer
 
 __all__ = ["SoADelayQueue", "run_soa_synchroniser"]
 
@@ -158,6 +159,7 @@ def run_soa_synchroniser(
     require_quiescence: bool = True,
     fault_hook=None,
     workers: int | None = None,
+    tracer=None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Drive an SoA population under the footnote-2 synchroniser.
 
@@ -175,15 +177,36 @@ def run_soa_synchroniser(
     receiver-sorted columns — so every worker count reproduces the
     identical execution, delay draws and fault streams included.
     """
+    tracer = resolve_tracer(tracer)
     network = SyncNetwork(
-        soa_class, capacity, rng, engine=engine, fault_hook=fault_hook, workers=workers
+        soa_class,
+        capacity,
+        rng,
+        engine=engine,
+        fault_hook=fault_hook,
+        workers=workers,
+        tracer=tracer,
     )
+    # Traced runs additionally record the synchroniser's own per-round
+    # view (staged/released/held queue depths) — observation only, read
+    # after each barrier; the delay draws and release order are
+    # untouched, so a traced run is bit-for-bit the untraced one.
+    sync_trace = None
+    trace_clock = None
+    if tracer is not None:
+        sync_trace = tracer.table(
+            "sync",
+            ("round", "staged", "released", "held"),
+            meta={"n": soa_class.n, "max_delay": max_delay},
+        )
+        trace_clock = tracer.clock
     queue = SoADelayQueue(soa_class.n)
     clock = 0
     observed = 0
     rounds = 0
     converged = False
     for _ in range(max_rounds):
+        start = trace_clock() if sync_trace is not None else 0.0
         network.run_round()
         rounds += 1
         staged = network.take_staged_soa_inbox()
@@ -197,7 +220,12 @@ def run_soa_synchroniser(
         # it — require_drain turns a delay beyond the barrier into an
         # immediate, clearly-attributed error).
         clock += max_delay
-        network.stage_soa_inbox(queue.release_until(clock, require_drain=True))
+        released = queue.release_until(clock, require_drain=True)
+        network.stage_soa_inbox(released)
+        if sync_trace is not None:
+            sync_trace.append(
+                rounds - 1, m, len(released), len(queue), trace_clock() - start
+            )
         if not network.pending_messages() and not len(queue) and soa_class.is_idle():
             converged = True
             break

@@ -156,4 +156,33 @@ RULE_FIXTURES = {
         ),
         "rel_path": ENGINE_PATH,
     },
+    "RL501": {
+        "bad": (
+            "def probe_round(rcv, snd, rng):\n"
+            "    if rng.random() < 0.5:\n"
+            "        return None\n"
+            "    return len(rcv)\n"
+        ),
+        "good": (
+            "def probe_round(rcv, snd, round_no):\n"
+            "    if round_no % 2:\n"
+            "        return None\n"
+            "    return len(rcv)\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
+    "RL502": {
+        "bad": (
+            "def probe_round(rcv, counts):\n"
+            "    counts[0] = -1\n"
+            "    return counts\n"
+        ),
+        "good": (
+            "def probe_round(rcv, counts):\n"
+            "    mine = counts.copy()\n"
+            "    mine[0] = -1\n"
+            "    return mine\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
 }

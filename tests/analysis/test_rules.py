@@ -59,6 +59,73 @@ class TestModuleKinds:
             assert "RL101" in codes_of(bad, rel)
 
 
+class TestProbeScope:
+    """RL5xx fires only inside telemetry code: ``src/repro/obs/`` files,
+    or functions named ``probe_*`` / ``on_trace_*`` elsewhere."""
+
+    OBS_PATH = "src/repro/obs/fixture_mod.py"
+
+    def test_rng_draw_outside_probe_scope_is_clean(self):
+        src = (
+            "def sample(rcv, rng):\n"
+            "    if rng.random() < 0.5:\n"
+            "        return None\n"
+            "    return len(rcv)\n"
+        )
+        assert "RL501" not in codes_of(src, ENGINE_PATH)
+
+    def test_param_store_outside_probe_scope_is_clean(self):
+        src = (
+            "def fold(counts):\n"
+            "    counts[0] = -1\n"
+            "    return counts\n"
+        )
+        assert "RL502" not in codes_of(src, ENGINE_PATH)
+
+    def test_obs_module_is_probe_scope_everywhere(self):
+        src = (
+            "def summarize(counts):\n"
+            "    counts[0] = -1\n"
+            "    return counts\n"
+        )
+        assert "RL502" in codes_of(src, self.OBS_PATH)
+
+    def test_on_trace_prefix_is_probe_scope(self):
+        src = (
+            "def on_trace_round(rcv, rng):\n"
+            "    return rng.integers(10)\n"
+        )
+        assert "RL501" in codes_of(src, ENGINE_PATH)
+
+    def test_spawn_is_not_a_draw(self):
+        src = (
+            "def probe_round(rcv, rng):\n"
+            "    child = rng.spawn(1)[0]\n"
+            "    return child\n"
+        )
+        assert "RL501" not in codes_of(src, ENGINE_PATH)
+
+    def test_self_store_is_not_a_mutation(self):
+        src = (
+            "class Probe:\n"
+            "    def probe_round(self, rcv):\n"
+            "        self.last = len(rcv)\n"
+        )
+        assert "RL502" not in codes_of(src, self.OBS_PATH)
+
+    def test_attribute_chain_store_is_flagged(self):
+        src = (
+            "def probe_round(batch):\n"
+            "    batch.meta.kind = 'net'\n"
+        )
+        assert "RL502" in codes_of(src, ENGINE_PATH)
+
+    def test_probe_rules_apply_in_tests_and_benchmarks(self):
+        bad = RULE_FIXTURES["RL501"]["bad"]
+        for rel in ("benchmarks/bench_fixture.py", "tests/test_fixture.py"):
+            assert "RL501" in codes_of(bad, rel)
+
+
 class TestSuppressions:
     def test_inline_disable_silences_one_line(self):
         src = (
