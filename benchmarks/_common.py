@@ -31,6 +31,7 @@ def bench_payload(
     rows: list[dict],
     checks: dict | None = None,
     extra: dict | None = None,
+    ctx=None,
 ) -> dict:
     """Assemble one bench result in the stable ``repro-bench/v1`` shape.
 
@@ -42,13 +43,24 @@ def bench_payload(
     consumer sees what was *verified*, not just what was measured.
     ``extra`` merges additional top-level sections (e.g. a nested grid
     payload) without loosening the core shape.
+
+    ``ctx`` (a resolved :class:`repro.runtime.context.RunContext`, or
+    ``None`` to resolve one from the environment here) lands under
+    ``"run_context"`` — the full resolved execution configuration
+    (contract C8), so every artifact names the exact stack that produced
+    it even when the bench only plumbed a subset of the knobs.
     """
+    from repro.runtime import RunContext
+
+    if ctx is None:
+        ctx = RunContext.resolve()
     payload = {
         "schema": BENCH_SCHEMA,
         "bench": bench,
         "config": config,
         "rows": rows,
         "checks": checks or {},
+        "run_context": ctx.as_dict(),
     }
     if extra:
         for key in extra:

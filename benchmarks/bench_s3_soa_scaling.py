@@ -44,7 +44,6 @@ in the JSON ``checks``).
 import argparse
 import hashlib
 import math
-import os
 import sys
 import time
 
@@ -61,7 +60,8 @@ from repro.experiments.harness import (
     tier_filter,
 )
 from repro.graphs.portgraph import PortGraph
-from repro.net.shard import WORKERS_ENV, effective_workers
+from repro.net.shard import effective_workers
+from repro.runtime import RunContext, workers_specified
 
 FULL_SIZES = (10_000, 100_000)
 FULL_SOA_ONLY = (1_000_000,)
@@ -106,33 +106,24 @@ def _tree_sha(result) -> str:
 
 def _worker_counts(smoke: bool, cli_value: int | None) -> tuple[int, ...]:
     """The sweep — or the single pinned count when the user chose one."""
-    if cli_value is not None or os.environ.get(WORKERS_ENV):
+    if workers_specified(cli_value):
         return (select_workers(cli_value),)
     return SMOKE_WORKER_SWEEP if smoke else FULL_WORKER_SWEEP
 
 
 def _soa_run_seconds(graph, fr, workers: int, repeats: int, reuse: bool = True):
-    """Best-of-``repeats`` wall clock of one SoA rooting configuration."""
-    env_old = os.environ.get("REPRO_SOA_LAYOUT_REUSE")
-    if not reuse:
-        os.environ["REPRO_SOA_LAYOUT_REUSE"] = "0"
-    try:
-        result = run_soa_rooting(
-            graph, fr, rng=np.random.default_rng(1), workers=workers
-        )
-        seconds = _time(
-            lambda: run_soa_rooting(
-                graph, fr, rng=np.random.default_rng(1), workers=workers
-            ),
-            repeats,
-        )
-        return seconds, result
-    finally:
-        if not reuse:
-            if env_old is None:
-                os.environ.pop("REPRO_SOA_LAYOUT_REUSE", None)
-            else:
-                os.environ["REPRO_SOA_LAYOUT_REUSE"] = env_old
+    """Best-of-``repeats`` wall clock of one SoA rooting configuration.
+
+    The re-sort control arm is a context with ``layout_reuse=False`` —
+    no more mutating ``REPRO_SOA_LAYOUT_REUSE`` around the call.
+    """
+    ctx = RunContext.resolve(workers=workers, layout_reuse=reuse)
+    result = run_soa_rooting(graph, fr, rng=np.random.default_rng(1), ctx=ctx)
+    seconds = _time(
+        lambda: run_soa_rooting(graph, fr, rng=np.random.default_rng(1), ctx=ctx),
+        repeats,
+    )
+    return seconds, result
 
 
 def check_equivalence(n: int = 400) -> None:
@@ -399,6 +390,7 @@ def main(argv=None) -> int:
             },
             rows=json_rows,
             checks=checks,
+            ctx=RunContext.resolve(workers=worker_counts[0]),
         )
         write_bench_json(args.json, payload)
     return 0

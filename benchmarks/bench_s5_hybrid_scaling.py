@@ -40,7 +40,6 @@ pair plus a traced churn-rebuild cell, invariance-checked, with the
 """
 
 import argparse
-import os
 import sys
 import time
 
@@ -54,7 +53,8 @@ from repro.experiments.harness import (
     select_workers,
     tier_filter,
 )
-from repro.net.shard import WORKERS_ENV, effective_workers
+from repro.net.shard import effective_workers
+from repro.runtime import RunContext
 from repro.graphs import generators as G
 from repro.graphs.portgraph import PortGraph
 from repro.hybrid.components import (
@@ -136,7 +136,7 @@ def check_equivalence(seeds: int = EQUIVALENCE_SEEDS) -> None:
     print(f"equivalence matrix: {seeds} seeds bit-for-bit across hybrid tiers")
 
 
-def run_stages(tier: str, graph: PortGraph, seed: int):
+def run_stages(tier: str, graph: PortGraph, seed: int, ctx: RunContext | None = None):
     """One pipeline run with per-stage wall clock.
 
     Returns ``(stage_seconds, shared_seconds, wellform_seconds,
@@ -159,7 +159,7 @@ def run_stages(tier: str, graph: PortGraph, seed: int):
         t4 = time.perf_counter()
         forest = well_formed_forest(bfs)
     else:
-        spanner = build_spanner_soa(graph, rng)
+        spanner = build_spanner_soa(graph, rng, ctx=ctx)
         t1 = time.perf_counter()
         reduced = reduce_degree_soa(spanner)
         t2 = time.perf_counter()
@@ -180,7 +180,11 @@ def run_stages(tier: str, graph: PortGraph, seed: int):
     return stage_seconds, t3 - t2, t5 - t4, fingerprint
 
 
-def run_experiment(smoke: bool, hybrid_filter: str | None = None):
+def run_experiment(
+    smoke: bool,
+    hybrid_filter: str | None = None,
+    ctx: RunContext | None = None,
+):
     check_equivalence()
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     repeats = 1 if smoke else 2
@@ -199,7 +203,9 @@ def run_experiment(smoke: bool, hybrid_filter: str | None = None):
                 continue
             best = None
             for _ in range(repeats):
-                stage_s, shared_s, wellform_s, fp = run_stages(tier, graph, seed=1)
+                stage_s, shared_s, wellform_s, fp = run_stages(
+                    tier, graph, seed=1, ctx=ctx
+                )
                 if best is None or stage_s < best[0]:
                     best = (stage_s, shared_s, wellform_s, fp)
             stage_s, shared_s, wellform_s, fp = best
@@ -244,7 +250,7 @@ def run_experiment(smoke: bool, hybrid_filter: str | None = None):
     return rows, wellform_rows, speedup, wellform_speedup
 
 
-def run_churn_rebuild_sweep(smoke: bool) -> list[dict]:
+def run_churn_rebuild_sweep(smoke: bool, ctx: RunContext | None = None) -> list[dict]:
     """Scenario-driven churn-rebuild at scale on the SoA tier — the
     regime the port exists for.  Completing with ground-truth-correct
     labels IS the check."""
@@ -256,6 +262,7 @@ def run_churn_rebuild_sweep(smoke: bool) -> list[dict]:
         workload="churn-rebuild",
         overlay_params=OVERLAY_PARAMS,
         chords=NUM_CHORD_SETS,
+        ctx=ctx,
     )
     grid = (
         ScenarioSpec(name="rebuild/baseline"),
@@ -278,7 +285,7 @@ def run_churn_rebuild_sweep(smoke: bool) -> list[dict]:
     return payload["rows"]
 
 
-def run_trace_check(trace_path: str) -> dict:
+def run_trace_check(trace_path: str, ctx: RunContext | None = None) -> dict:
     """ISSUE 9 trace satellite: one traced/untraced hybrid pipeline pair
     at the assert size (fingerprint equality + overhead) plus a traced
     churn-rebuild scenario cell whose rows must match the untraced cell
@@ -299,6 +306,7 @@ def run_trace_check(trace_path: str) -> dict:
             workload="churn-rebuild",
             overlay_params=OVERLAY_PARAMS,
             chords=NUM_CHORD_SETS,
+            ctx=ctx,
         )
         spec = ScenarioSpec(
             name="rebuild/churn10",
@@ -308,13 +316,16 @@ def run_trace_check(trace_path: str) -> dict:
         return runner.run_grid((spec,))["rows"]
 
     t0 = time.perf_counter()
-    base = run_stages("soa", graph, seed=1)
+    base = run_stages("soa", graph, seed=1, ctx=ctx)
     base_seconds = time.perf_counter() - t0
     untraced_rows = rebuild_cell()
 
-    with capture(trace_path, meta={"bench": "s5_hybrid_scaling", "n": n}):
+    with capture(trace_path, meta={"bench": "s5_hybrid_scaling", "n": n}) as tracer:
+        # The context is frozen — the traced arm carries the session
+        # tracer explicitly instead of relying on ambient resolution.
+        traced_ctx = ctx.with_overrides(tracer=tracer) if ctx is not None else None
         t0 = time.perf_counter()
-        traced = run_stages("soa", graph, seed=1)
+        traced = run_stages("soa", graph, seed=1, ctx=traced_ctx)
         traced_seconds = time.perf_counter() - t0
         traced_rows = rebuild_cell()
 
@@ -366,20 +377,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     hybrid_filter = tier_filter("hybrid", args.hybrid)
     workers = select_workers(args.workers)
-    if workers > 1:
-        # The soa_pipeline constructs its networks internally; the env
-        # var is the documented channel for sharding them (results are
-        # bit-for-bit identical at every count).
-        os.environ[WORKERS_ENV] = str(workers)
+    # One resolved context shards every network the pipeline constructs
+    # internally — no more mutating REPRO_WORKERS for child code to
+    # re-sniff (results are bit-for-bit identical at every count).
+    ctx = RunContext.resolve(workers=workers)
     rows, wellform_rows, speedup, wellform_speedup = run_experiment(
-        smoke=args.smoke, hybrid_filter=hybrid_filter
+        smoke=args.smoke, hybrid_filter=hybrid_filter, ctx=ctx
     )
     rebuild_rows = []
     if hybrid_filter in (None, "soa"):
-        rebuild_rows = run_churn_rebuild_sweep(smoke=args.smoke)
+        rebuild_rows = run_churn_rebuild_sweep(smoke=args.smoke, ctx=ctx)
     trace_check = None
     if args.trace:
-        trace_check = run_trace_check(args.trace)
+        trace_check = run_trace_check(args.trace, ctx=ctx)
     from _common import bench_payload, write_bench_json
 
     payload = bench_payload(
@@ -395,6 +405,7 @@ def main(argv=None) -> int:
                 "num_evolutions": OVERLAY_PARAMS.num_evolutions,
             },
         },
+        ctx=ctx,
         rows=[
             {
                 "n": n,

@@ -23,16 +23,18 @@ from repro.core.topologies import (
 )
 from repro.experiments.harness import Table, select_tier
 from repro.graphs.generators import line_graph
+from repro.runtime import RunContext
 
 
 def bench_x1_structured_overlays(benchmark):
     # Every rooting tier builds the identical tree; REPRO_ROOTING selects
-    # the execution path under measurement.
-    rooting = select_tier("rooting", default="batch")
+    # the execution path under measurement — one resolved context carries
+    # it into every network the build constructs.
+    ctx = RunContext.resolve(rooting=select_tier("rooting", default="batch"))
 
     def experiment():
         n = 256
-        result = build_well_formed_tree(line_graph(n), rng=seeded(4), rooting=rooting)
+        result = build_well_formed_tree(line_graph(n), rng=seeded(4), ctx=ctx)
         tree = result.tree
         builders = {
             "sorted_path": build_sorted_path,

@@ -26,10 +26,14 @@ from repro.core.pipeline import build_well_formed_tree
 from repro.experiments.harness import Table, select_tier
 from repro.graphs import generators as G
 from repro.hybrid.monitoring import NetworkMonitor
+from repro.runtime import RunContext
 
 
 def bench_x2_monitor_battery(benchmark):
     rooting = select_tier("rooting", default="batch")
+    # One resolved context carries the tier into every network the
+    # builds below construct.
+    ctx = RunContext.resolve(rooting=rooting)
 
     def experiment():
         table = Table(
@@ -40,7 +44,7 @@ def bench_x2_monitor_battery(benchmark):
         for n in (128, 512):
             g = G.torus_2d(int(math.isqrt(n)), int(math.isqrt(n)))
             n_actual = g.number_of_nodes()
-            overlay = build_well_formed_tree(g, rng=seeded(n), rooting=rooting)
+            overlay = build_well_formed_tree(g, rng=seeded(n), ctx=ctx)
             monitor = NetworkMonitor(g, tree=overlay.tree)
             merge_rounds = supernode_merge(g).total_rounds
             truth = {

@@ -15,17 +15,19 @@ from repro.core.pipeline import build_well_formed_tree
 from repro.experiments.harness import Table, select_tier
 from repro.graphs.churn import survival_curve
 from repro.graphs.generators import cycle_graph
+from repro.runtime import RunContext
 
 
 def bench_x3_survival_curves(benchmark):
     # Identical overlay on every rooting tier; REPRO_ROOTING selects the
-    # execution path under measurement.
-    rooting = select_tier("rooting", default="batch")
+    # execution path under measurement — one resolved context carries it
+    # into every network the build constructs.
+    ctx = RunContext.resolve(rooting=select_tier("rooting", default="batch"))
 
     def experiment():
         n = 256
         ring = cycle_graph(n)
-        overlay = build_well_formed_tree(ring, rng=seeded(0), rooting=rooting).final_graph()
+        overlay = build_well_formed_tree(ring, rng=seeded(0), ctx=ctx).final_graph()
         probs = [0.05, 0.15, 0.30, 0.50]
         rng = seeded(1)
         ring_rows = survival_curve(ring, probs, rng, trials=6)

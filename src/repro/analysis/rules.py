@@ -15,7 +15,8 @@ Rule numbering groups by contract family:
 - ``RL2xx`` — determinism hazards (iteration order, wall clock);
 - ``RL3xx`` — columnar contracts (shared delivery columns, dtype lanes);
 - ``RL4xx`` — shard safety (disjoint writes inside worker bodies);
-- ``RL5xx`` — probe purity (telemetry observes, never perturbs).
+- ``RL5xx`` — probe purity (telemetry observes, never perturbs);
+- ``RL6xx`` — configuration discipline (one env source, one context).
 
 Suppressions are source comments, checked per physical line of the
 flagged statement:
@@ -188,6 +189,7 @@ def all_rules() -> list[type[Rule]]:
     modules on first use so the registry is always populated)."""
     from repro.analysis import (  # noqa: F401
         rules_columnar,
+        rules_config,
         rules_determinism,
         rules_obs,
         rules_rng,

@@ -61,30 +61,24 @@ def rooting_flood_rounds(n: int) -> int:
 #: NCC0 simulator (object nodes, batched int64 columns, or the
 #: structure-of-arrays class of :mod:`repro.core.soa_rooting`).  All four
 #: produce the identical tree; ``"soa"`` is what keeps the pipeline
-#: practical at ``n ≥ 10⁶``.
-ROOTING_MODES = ("reference", "protocol", "batch", "soa")
-
-#: How step 2 (``CreateExpander``) executes: ``"walks"`` runs the fast
-#: array walk engine of :mod:`repro.core.expander` (the default — the
-#: only mode with per-evolution history, spectral tracking, and trace
-#: provenance); ``"protocol"``, ``"batch"``, and ``"soa"`` run the
-#: message-level protocol on the NCC0 simulator with real capacity
-#: enforcement, at the three execution tiers.
-EXPANDER_MODES = ("walks", "protocol", "batch", "soa")
-
-#: Execution tiers of the §4 hybrid pipeline (Theorem 1.2,
-#: :func:`repro.hybrid.components.connected_components_hybrid`):
-#: per-node ``"object"`` structures or the columnar ``"soa"`` port of
-#: :mod:`repro.hybrid.soa_pipeline`.  The authoritative tuple is
-#: ``repro.hybrid.components.HYBRID_TIERS``; it is mirrored here as a
-#: literal (a module-level import of :mod:`repro.hybrid` would cycle
-#: through ``repro.core.__init__``) so the harness can expose all four
-#: stack dimensions from one module — the test suite asserts the two
-#: stay identical.
-HYBRID_MODES = ("object", "soa")
+#: practical at ``n ≥ 10⁶``.  Authoritative in
+#: :mod:`repro.runtime.context` (a leaf package, so the old
+#: cycle-avoiding mirror literal for the hybrid tuple is gone);
+#: re-exported here for compatibility, alongside ``EXPANDER_MODES`` (how
+#: step 2, ``CreateExpander``, executes: the fast ``"walks"`` array
+#: engine or the message-level tiers) and ``HYBRID_MODES`` (the §4
+#: hybrid pipeline tiers — the same tuple as
+#: ``repro.hybrid.components.HYBRID_TIERS``).
+from repro.runtime import EXPANDER_MODES, ROOTING_MODES, RunContext  # noqa: E402
+from repro.runtime import HYBRID_TIERS as HYBRID_MODES  # noqa: E402
 
 
-def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BFSForest:
+def _rooting_forest(
+    graph: PortGraph,
+    mode: str,
+    rng: np.random.Generator,
+    ctx: RunContext | None = None,
+) -> BFSForest:
     """Run the message-level rooting phase and adapt it to a BFSForest."""
     from repro.core.protocol_tree import run_batch_rooting, run_protocol_rooting
     from repro.core.soa_rooting import run_soa_rooting
@@ -97,7 +91,7 @@ def _rooting_forest(graph: PortGraph, mode: str, rng: np.random.Generator) -> BF
         "protocol": run_protocol_rooting,
     }[mode]
     try:
-        result = runner(graph, flood_rounds=flood_rounds, rng=rng)
+        result = runner(graph, flood_rounds=flood_rounds, rng=rng, ctx=ctx)
     except RuntimeError as exc:
         from repro.graphs.analysis import is_connected
 
@@ -200,8 +194,10 @@ def build_well_formed_tree(
     gap_threshold: float | None = None,
     track_gap: bool = False,
     verify_benign: bool = False,
-    rooting: str = "reference",
-    expander: str = "walks",
+    rooting: str | None = None,
+    expander: str | None = None,
+    *,
+    ctx: RunContext | None = None,
 ) -> OverlayBuildResult:
     """Run the complete Theorem 1.1 construction on ``graph``.
 
@@ -235,6 +231,14 @@ def build_well_formed_tree(
         evolution history/provenance, so they are incompatible with
         ``record_traces`` / ``gap_threshold`` / ``track_gap`` /
         ``verify_benign``.
+    ctx:
+        A resolved :class:`~repro.runtime.context.RunContext`.  Supplies
+        ``rooting`` / ``expander`` when those kwargs are omitted (the
+        kwargs win per the precedence chain) and is threaded into every
+        network the message-level phases construct (workers, tracer,
+        fault spec, layout reuse).  Without one, the kwargs default to
+        ``"reference"`` / ``"walks"`` exactly as before — the pipeline
+        itself never sniffs ``REPRO_*`` variables.
 
     Returns
     -------
@@ -242,6 +246,13 @@ def build_well_formed_tree(
         With a round ledger satisfying, w.h.p.,
         ``total_rounds = O(log n)`` for constant-degree inputs.
     """
+    if ctx is not None:
+        ctx = ctx.with_overrides(rooting=rooting, expander=expander)
+        rooting = ctx.rooting
+        expander = ctx.expander
+    else:
+        rooting = rooting if rooting is not None else "reference"
+        expander = expander if expander is not None else "walks"
     if rooting not in ROOTING_MODES:
         raise ValueError(f"rooting must be one of {ROOTING_MODES}, got {rooting!r}")
     if expander not in EXPANDER_MODES:
@@ -285,7 +296,7 @@ def build_well_formed_tree(
     if rooting == "reference":
         bfs = build_bfs_forest(expander_result.final_graph)
     else:
-        bfs = _rooting_forest(expander_result.final_graph, rooting, rng)
+        bfs = _rooting_forest(expander_result.final_graph, rooting, rng, ctx)
     if len(bfs.roots) != 1:
         raise ValueError(
             "input graph is disconnected; use repro.hybrid.components for forests"

@@ -68,8 +68,9 @@ __all__ = [
 ]
 
 #: Execution tiers a rooting population can be built at (node
-#: representation, orthogonal to the delivery engine).
-ROOTING_TIERS = ("object", "batch", "soa")
+#: representation, orthogonal to the delivery engine) — authoritative in
+#: :mod:`repro.runtime.context`, re-exported here for compatibility.
+from repro.runtime import ROOTING_TIERS, RunContext  # noqa: E402
 
 MIN_ID = KINDS.code("min_id")
 BFS_OFFER = KINDS.code("bfs_offer")
@@ -248,7 +249,9 @@ def build_rooting_population(graph: PortGraph, flood_rounds: int, tier: str = "b
 
         return SoARootingClass(*csr_neighbors(graph), flood_rounds)
     if tier not in ROOTING_TIERS:
-        raise ValueError(f"tier must be one of {ROOTING_TIERS}, got {tier!r}")
+        from repro.runtime import validate_tier
+
+        validate_tier("rooting", tier)
     return _build_nodes(
         graph, flood_rounds, BatchRootingNode if tier == "batch" else _RootingNode
     )
@@ -300,13 +303,14 @@ def _run_rooting(
     capacity: CapacityPolicy | None,
     max_rounds: int | None,
     engine: str,
+    ctx: RunContext | None = None,
 ) -> TreeProtocolResult:
     """Shared scaffold for the object and batched rooting runners."""
     rng, capacity, max_rounds = _resolve_defaults(
         graph, flood_rounds, rng, capacity, max_rounds
     )
     nodes = _build_nodes(graph, flood_rounds, node_cls)
-    network = SyncNetwork(nodes, capacity, rng, engine=engine)
+    network = SyncNetwork(nodes, capacity, rng, engine=engine, ctx=ctx)
     metrics = network.run(max_rounds=max_rounds)
     return _collect_result(nodes, graph.n, metrics)
 
@@ -318,6 +322,8 @@ def run_protocol_rooting(
     capacity: CapacityPolicy | None = None,
     max_rounds: int | None = None,
     engine: str = "vectorized",
+    *,
+    ctx: RunContext | None = None,
 ) -> TreeProtocolResult:
     """Execute flooding + BFS message-by-message on an overlay graph.
 
@@ -347,7 +353,7 @@ def run_protocol_rooting(
         input or starved capacity).
     """
     return _run_rooting(
-        _RootingNode, graph, flood_rounds, rng, capacity, max_rounds, engine
+        _RootingNode, graph, flood_rounds, rng, capacity, max_rounds, engine, ctx
     )
 
 
@@ -358,6 +364,8 @@ def run_batch_rooting(
     capacity: CapacityPolicy | None = None,
     max_rounds: int | None = None,
     engine: str = "vectorized",
+    *,
+    ctx: RunContext | None = None,
 ) -> TreeProtocolResult:
     """Batched counterpart of :func:`run_protocol_rooting`.
 
@@ -369,7 +377,7 @@ def run_batch_rooting(
     tests cross-check the vectorized path.
     """
     return _run_rooting(
-        BatchRootingNode, graph, flood_rounds, rng, capacity, max_rounds, engine
+        BatchRootingNode, graph, flood_rounds, rng, capacity, max_rounds, engine, ctx
     )
 
 
@@ -384,6 +392,8 @@ def run_rooting_under_asynchrony(
     batched: bool = True,
     tier: str | None = None,
     fault_hook=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> tuple[TreeProtocolResult, AsyncReport]:
     """Rooting under the footnote-2 synchroniser, batched by default.
 
@@ -408,7 +418,7 @@ def run_rooting_under_asynchrony(
     population = build_rooting_population(graph, flood_rounds, tier)
     report, network = run_with_asynchrony(
         population, capacity, rng, max_delay, max_rounds,
-        engine=engine, fault_hook=fault_hook,
+        engine=engine, fault_hook=fault_hook, ctx=ctx,
     )
     if tier == "soa":
         from repro.core.soa_rooting import collect_soa_result

@@ -42,6 +42,7 @@ from repro.graphs.portgraph import PortGraph
 from repro.net.batch import MessageBatch
 from repro.net.network import CapacityPolicy, SyncNetwork
 from repro.net.soa import SoAInbox, SoAProtocolClass
+from repro.runtime import RunContext
 
 from repro.core.protocol_tree import (
     BFS_OFFER,
@@ -192,6 +193,8 @@ def run_soa_rooting(
     engine: str = "vectorized",
     workers: int | None = None,
     tracer=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> TreeProtocolResult:
     """SoA counterpart of :func:`~repro.core.protocol_tree.run_batch_rooting`.
 
@@ -204,7 +207,9 @@ def run_soa_rooting(
     tail's receiver sort (``None`` → ``REPRO_WORKERS``); every worker
     count produces the identical execution, fault streams included.
     ``tracer`` records a per-round trace (:mod:`repro.obs`) without
-    perturbing the run.
+    perturbing the run.  A resolved ``ctx``
+    (:class:`~repro.runtime.context.RunContext`) supplies all of the
+    above at once; explicit kwargs still win.
     """
     if engine != "vectorized":
         raise ValueError(
@@ -213,10 +218,12 @@ def run_soa_rooting(
     rng, capacity, max_rounds = _resolve_defaults(
         graph, flood_rounds, rng, capacity, max_rounds
     )
+    if ctx is None:
+        ctx = RunContext.resolve(engine=engine, workers=workers, tracer=tracer)
+    else:
+        ctx = ctx.with_overrides(engine=engine, workers=workers, tracer=tracer)
     cls = SoARootingClass(*csr_neighbors(graph), flood_rounds)
-    network = SyncNetwork(
-        cls, capacity, rng, engine=engine, workers=workers, tracer=tracer
-    )
+    network = SyncNetwork(cls, capacity, rng, ctx=ctx)
     metrics = network.run(max_rounds=max_rounds)
     return collect_soa_result(cls, metrics)
 

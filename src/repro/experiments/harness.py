@@ -14,7 +14,6 @@ provides the fits the claims are judged by:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,31 +37,25 @@ __all__ = [
     "add_workers_argument",
 ]
 
-#: Delivery engines of :class:`repro.net.network.SyncNetwork` that the
-#: benchmarks can select between (single source of truth: the network).
-from repro.net.network import ENGINES as ENGINE_CHOICES  # noqa: E402
+#: Choice vocabularies, re-exported from :mod:`repro.runtime` — the
+#: single source of truth for every execution-stack dimension (contract
+#: C8).  ``ENGINE_CHOICES`` are the delivery engines of
+#: :class:`repro.net.network.SyncNetwork`; ``TIER_CHOICES`` adds
+#: ``"soa"`` — structure-of-arrays protocol classes on the vectorized
+#: delivery path (one Python call advances all nodes).
+from repro.runtime import ENGINES as ENGINE_CHOICES  # noqa: E402
+from repro.runtime import TIER_CHOICES  # noqa: E402
+from repro.runtime import EXPANDER_MODES as EXPANDER_CHOICES  # noqa: E402
+from repro.runtime import HYBRID_TIERS as HYBRID_CHOICES  # noqa: E402
+from repro.runtime import ROOTING_MODES as ROOTING_CHOICES  # noqa: E402
 
-#: Execution tiers for stack-aware benchmarks: the two delivery engines
-#: plus ``"soa"`` — structure-of-arrays protocol classes on the
-#: vectorized delivery path (one Python call advances all nodes).
-TIER_CHOICES = ENGINE_CHOICES + ("soa",)
+#: The benchmark-selectable dimensions (env var, fallback default, choice
+#: tuple per kind) — kept importable for tests and bench scripts, backed
+#: by :data:`repro.runtime.context.TIER_KINDS`.
+from repro.runtime import TIER_KINDS as _TIER_KINDS  # noqa: E402
 
-#: Rooting / expander / hybrid modes of the pipelines that
-#: stack-driving benchmarks can select between.
-from repro.core.pipeline import EXPANDER_MODES as EXPANDER_CHOICES  # noqa: E402
-from repro.core.pipeline import HYBRID_MODES as HYBRID_CHOICES  # noqa: E402
-from repro.core.pipeline import ROOTING_MODES as ROOTING_CHOICES  # noqa: E402
-
-#: The benchmark-selectable dimensions: env var, fallback default, and
-#: the full choice tuple per kind.  One table instead of one copy-pasted
-#: resolver (CLI flag > env var > default, loud failure on typos) per
-#: bench script.
-_TIER_KINDS: dict[str, tuple[str, str, tuple[str, ...]]] = {
-    "engine": ("REPRO_ENGINE", "vectorized", TIER_CHOICES),
-    "rooting": ("REPRO_ROOTING", "reference", ROOTING_CHOICES),
-    "expander": ("REPRO_EXPANDER", "walks", EXPANDER_CHOICES),
-    "hybrid": ("REPRO_HYBRID", "object", HYBRID_CHOICES),
-}
+from repro.runtime import choice_specified as _choice_specified  # noqa: E402
+from repro.runtime import select_choice as _select_choice  # noqa: E402
 
 
 def select_tier(
@@ -83,16 +76,12 @@ def select_tier(
     loudly instead of silently benchmarking the wrong stack; pass
     ``choices`` to restrict (e.g. ``ENGINE_CHOICES`` for engine-only
     benches).
+
+    Delegates to :func:`repro.runtime.context.select_choice` — the same
+    resolution :meth:`repro.runtime.context.RunContext.resolve` applies,
+    so a bench flag and a context field can never disagree.
     """
-    if kind not in _TIER_KINDS:
-        raise ValueError(f"kind must be one of {tuple(_TIER_KINDS)}, got {kind!r}")
-    env_var, kind_default, kind_choices = _TIER_KINDS[kind]
-    value = cli_value or os.environ.get(env_var) or default or kind_default
-    if choices is None:
-        choices = kind_choices
-    if value not in choices:
-        raise ValueError(f"{kind} must be one of {choices}, got {value!r}")
-    return value
+    return _select_choice(kind, cli_value, default=default, choices=choices)
 
 
 def tier_filter(
@@ -106,10 +95,7 @@ def tier_filter(
     restricted the run (CLI flag or env var)" — previously copy-pasted
     into each ``main()``.
     """
-    if kind not in _TIER_KINDS:
-        raise ValueError(f"kind must be one of {tuple(_TIER_KINDS)}, got {kind!r}")
-    env_var = _TIER_KINDS[kind][0]
-    if cli_value or os.environ.get(env_var):
+    if _choice_specified(kind, cli_value):
         return select_tier(kind, cli_value, choices=choices)
     return None
 

@@ -132,11 +132,13 @@ def rebuild_survivor_overlay(
     graph,
     p: float,
     rng: np.random.Generator,
-    rooting: str = "batch",
-    expander: str = "walks",
+    rooting: str | None = None,
+    expander: str | None = None,
     params=None,
     hybrid: str | None = None,
     overlay_params=None,
+    *,
+    ctx=None,
 ) -> SurvivorRebuild:
     """Churn the graph, then rebuild a fresh overlay on the survivors.
 
@@ -160,6 +162,13 @@ def rebuild_survivor_overlay(
     the :class:`~repro.hybrid.components.ComponentsResult`.  Both hybrid
     tiers rebuild bit-for-bit identically under a matched seed.
 
+    A resolved ``ctx`` (:class:`~repro.runtime.context.RunContext`)
+    supplies ``rooting``/``expander`` (Theorem 1.1 mode) and is threaded
+    into every network the rebuild constructs; explicit kwargs win.
+    ``ctx`` never *selects* hybrid mode — ``hybrid=None`` always means
+    the Theorem 1.1 rebuild, and the hybrid tier comes from the explicit
+    kwarg (``ctx.hybrid`` configures the pipeline only once selected).
+
     Raises
     ------
     ValueError
@@ -178,14 +187,15 @@ def rebuild_survivor_overlay(
         # graph, the churn report, and the rebuild never materialise
         # per-node sets — which is what keeps this path practical at the
         # n ≥ 10⁵ scale it exists for.
-        from repro.hybrid.components import HYBRID_TIERS, connected_components_hybrid
+        from repro.hybrid.components import connected_components_hybrid
         from repro.hybrid.soa_pipeline import CSRAdjacency, flood_min_ids_columns
+        from repro.runtime import validate_tier
 
-        if hybrid not in HYBRID_TIERS:
-            raise ValueError(
-                f"hybrid must be one of {HYBRID_TIERS}, got {hybrid!r}"
-            )
-        if params is not None or rooting != "batch" or expander != "walks":
+        validate_tier("hybrid", hybrid)
+        if params is not None or rooting not in (None, "batch") or expander not in (
+            None,
+            "walks",
+        ):
             raise ValueError(
                 "params/rooting/expander configure the Theorem 1.1 rebuild "
                 "and are ignored by the hybrid pipeline — pass overlay_params "
@@ -207,7 +217,11 @@ def rebuild_survivor_overlay(
             largest_component=int(np.bincount(labels).max()),
         )
         components = connected_components_hybrid(
-            survivor_graph, rng=build_rng, overlay_params=overlay_params, tier=hybrid
+            survivor_graph,
+            rng=build_rng,
+            overlay_params=overlay_params,
+            tier=hybrid,
+            ctx=ctx,
         )
         return SurvivorRebuild(report=report, survivors=survivors, overlay=components)
 
@@ -230,8 +244,13 @@ def rebuild_survivor_overlay(
         for u in surviving[v]:
             if u > v:
                 g.add_edge(relabel[v], relabel[u])
+    if ctx is None:
+        # Historical defaults: the Theorem 1.1 rebuild runs the batched
+        # rooting tier (not the pipeline's "reference" oracle).
+        rooting = rooting if rooting is not None else "batch"
+        expander = expander if expander is not None else "walks"
     overlay = build_well_formed_tree(
-        g, params=params, rng=build_rng, rooting=rooting, expander=expander
+        g, params=params, rng=build_rng, rooting=rooting, expander=expander, ctx=ctx
     )
     return SurvivorRebuild(report=report, survivors=survivors, overlay=overlay)
 

@@ -58,8 +58,9 @@ __all__ = [
 #: flat-column degree reduction / preparation / BFS).  Both produce
 #: bit-for-bit identical labels, forests, overlays, and ledger totals
 #: under a shared seed; benchmarks select via ``REPRO_HYBRID`` through
-#: :func:`repro.experiments.harness.select_tier`.
-HYBRID_TIERS = ("object", "soa")
+#: :func:`repro.experiments.harness.select_tier`.  Authoritative in
+#: :mod:`repro.runtime.context`; re-exported here for compatibility.
+from repro.runtime import HYBRID_TIERS, RunContext, validate_tier  # noqa: E402
 
 
 @dataclass
@@ -299,8 +300,10 @@ def connected_components_hybrid(
     m_bound: int | None = None,
     overlay_params: HybridOverlayParams | None = None,
     record_traces: bool = False,
-    tier: str = "object",
+    tier: str | None = None,
     tracer=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> ComponentsResult:
     """Theorem 1.2: well-formed trees on every connected component.
 
@@ -321,9 +324,14 @@ def connected_components_hybrid(
         produces the identical result with flat-column ``spanner`` /
         ``reduced`` representations — the tier that keeps churn-rebuild
         loops practical at ``n ≥ 10⁵``.
+    ctx:
+        A resolved :class:`~repro.runtime.context.RunContext`; supplies
+        ``tier``/``tracer`` (and workers/fault spec for the networks the
+        SoA tier builds) when the kwargs are omitted — kwargs win.
     """
-    if tier not in HYBRID_TIERS:
-        raise ValueError(f"tier must be one of {HYBRID_TIERS}, got {tier!r}")
+    if tier is None:
+        tier = ctx.hybrid if ctx is not None else "object"
+    validate_tier("hybrid", tier)
     if tier == "soa":
         # Lazy import: soa_pipeline pulls the network stack in.
         from repro.hybrid.soa_pipeline import connected_components_hybrid_soa
@@ -335,11 +343,14 @@ def connected_components_hybrid(
             overlay_params=overlay_params,
             record_traces=record_traces,
             tracer=tracer,
+            ctx=ctx,
         )
     from repro.obs import maybe_span, resolve_tracer
 
     if rng is None:
         rng = np.random.default_rng(0)
+    if tracer is None and ctx is not None:
+        tracer = ctx.tracer
     tracer = resolve_tracer(tracer)
     adj = adjacency_sets(graph)
     ledger = HybridLedger()

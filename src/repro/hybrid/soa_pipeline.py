@@ -525,6 +525,7 @@ def build_spanner_soa(
     rng: np.random.Generator,
     component_bound: int | None = None,
     degree_threshold: int | None = None,
+    ctx=None,
 ) -> SpannerColumns:
     """Columnar Elkin–Neiman spanner, bit-for-bit equal to
     :func:`repro.hybrid.spanner.build_spanner` under a shared seed.
@@ -562,6 +563,7 @@ def build_spanner_soa(
         population,
         CapacityPolicy.unbounded(),
         np.random.default_rng(0),  # never consumed: no capacity truncation
+        ctx=ctx,
     )
     for _ in range(rounds + 1):
         network.run_round()
@@ -896,6 +898,8 @@ def connected_components_hybrid_soa(
     overlay_params=None,
     record_traces: bool = False,
     tracer=None,
+    *,
+    ctx=None,
 ):
     """Columnar Theorem 1.2 pipeline (spanner → reduction → overlay →
     flood/BFS → well-forming).
@@ -921,11 +925,13 @@ def connected_components_hybrid_soa(
 
     if rng is None:
         rng = np.random.default_rng(0)
+    if tracer is None and ctx is not None:
+        tracer = ctx.tracer
     tracer = resolve_tracer(tracer)
     ledger = SoAHybridLedger()
 
     with maybe_span(tracer, "spanner_broadcast", cat="stage", tier="soa") as sp:
-        spanner = build_spanner_soa(graph, rng=rng, component_bound=m_bound)
+        spanner = build_spanner_soa(graph, rng=rng, component_bound=m_bound, ctx=ctx)
         if sp is not None:
             sp.attrs["rounds"] = int(spanner.rounds)
     ledger.charge("spanner_broadcast", local_rounds=spanner.rounds)

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.net.network import CapacityPolicy, ProtocolNode, SyncNetwork
 from repro.net.soa import SoAProtocolClass
+from repro.runtime import RunContext
 
 __all__ = ["AsyncReport", "run_with_asynchrony"]
 
@@ -80,6 +81,8 @@ def run_with_asynchrony(
     fault_hook=None,
     workers: int | None = None,
     tracer=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Run a protocol under random message delays with a synchroniser.
 
@@ -110,7 +113,9 @@ def run_with_asynchrony(
     delivery tail (``None`` → ``REPRO_WORKERS``); the per-node tiers
     ignore it, and every worker count yields the identical execution.
     ``tracer`` records a per-round trace (:mod:`repro.obs`) — pure
-    observation, so a traced run is bit-for-bit the untraced one.
+    observation, so a traced run is bit-for-bit the untraced one.  A
+    resolved ``ctx`` (:class:`~repro.runtime.context.RunContext`)
+    supplies workers/tracer/fault spec at once; explicit kwargs win.
 
     Returns the timing report and the (already run) network, whose nodes
     hold the protocol's results.
@@ -145,9 +150,16 @@ def run_with_asynchrony(
             fault_hook=fault_hook,
             workers=workers,
             tracer=tracer,
+            ctx=ctx,
         )
     network = SyncNetwork(
-        nodes, capacity, rng, engine=engine, fault_hook=fault_hook, tracer=tracer
+        nodes,
+        capacity,
+        rng,
+        engine=engine,
+        fault_hook=fault_hook,
+        tracer=tracer,
+        ctx=ctx,
     )
     observed = 0
     rounds = 0

@@ -43,7 +43,6 @@ is what makes large-``n`` runs practical.
 
 from __future__ import annotations
 
-import os
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -52,11 +51,13 @@ import numpy as np
 
 from repro import sanitize as _sanitize
 from repro.net.batch import KINDS, MessageBatch, pair_payload
-from repro.obs import resolve_tracer
 from repro.net.message import Message
-from repro.net.shard import resolve_workers
 from repro.net.soa import SoAInbox, SoAProtocolClass
 from repro.net.vectorops import group_argsort, needs_truncation, segmented_keep_indices
+
+#: Valid values for ``SyncNetwork(engine=...)`` — authoritative in
+#: :mod:`repro.runtime.context`, re-exported here for compatibility.
+from repro.runtime import ENGINES, RunContext
 
 __all__ = [
     "CapacityPolicy",
@@ -70,9 +71,6 @@ __all__ = [
     "SyncNetwork",
     "ENGINES",
 ]
-
-#: Valid values for ``SyncNetwork(engine=...)``.
-ENGINES = ("legacy", "vectorized")
 
 
 def _fault_keep_indices(keep, m_total: int) -> np.ndarray:
@@ -494,23 +492,49 @@ class SyncNetwork:
         nodes: dict[int, ProtocolNode] | SoAProtocolClass,
         capacity: CapacityPolicy,
         rng: np.random.Generator,
-        engine: str = "vectorized",
+        engine: str | None = None,
         fault_hook: Callable[[int, np.ndarray, np.ndarray], np.ndarray | None] | None = None,
         workers: int | None = None,
         tracer=None,
+        *,
+        ctx: RunContext | None = None,
     ) -> None:
+        # One execution config (contract C8): either the caller hands a
+        # resolved RunContext (kwargs still win, per the precedence
+        # chain), or the historical kwargs build one internally.  The
+        # engine never env-sniffs REPRO_ENGINE on the shim path — the
+        # kwarg default is pinned explicitly, preserving the pre-context
+        # semantics where only benches honoured that variable.
+        if ctx is None:
+            ctx = RunContext.resolve(
+                engine=engine or "vectorized",
+                workers=workers,
+                tracer=tracer,
+                fault_hook=fault_hook,
+            )
+        else:
+            ctx = ctx.with_overrides(
+                engine=engine, workers=workers, tracer=tracer, fault_hook=fault_hook
+            )
+        engine = ctx.engine
+        if engine == "soa":
+            # "soa" names a node representation (tier), not a delivery
+            # engine; SoA populations always ride the vectorized tail.
+            engine = "vectorized"
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        self.ctx = ctx
         self.capacity = capacity
         self.rng = rng
         self.engine = engine
-        self.fault_hook = fault_hook
+        self.fault_hook = ctx.fault_hook
         self.round_no = 0
-        # ``workers`` shards the SoA delivery tail's receiver sort across
-        # a fork-inherited shared-memory pool (repro.net.shard) — results
-        # are bit-for-bit identical at every count.  ``None`` resolves
-        # from REPRO_WORKERS (default 1); non-SoA populations ignore it.
-        self._workers = resolve_workers(workers)
+        # ``ctx.workers`` shards the SoA delivery tail's receiver sort
+        # across a fork-inherited shared-memory pool (repro.net.shard) —
+        # results are bit-for-bit identical at every count.  ``None``
+        # resolved from REPRO_WORKERS (default 1); non-SoA populations
+        # ignore it.
+        self._workers = ctx.workers
         self._shards = None
         self._metrics = NetworkMetrics()
         if isinstance(nodes, SoAProtocolClass):
@@ -566,12 +590,20 @@ class SyncNetwork:
         # REPRO_SOA_LAYOUT_REUSE=0 restores the pre-shard sort-only cache
         # (identity-trusting, re-gathers every column every round) — the
         # control arm of bench_s3's re-sort-elimination measurement.
-        self._reuse_layouts = os.environ.get("REPRO_SOA_LAYOUT_REUSE", "1") != "0"
+        self._reuse_layouts = ctx.layout_reuse
         # ---- round-trace telemetry (C7: observes, never steers) -------
-        # Resolution order: explicit kwarg > ambient capture()/activate()
-        # tracer > REPRO_TRACE env singleton.  Untraced runs keep every
-        # probe at a single ``is None`` check and materialise nothing.
-        tr = resolve_tracer(tracer)
+        # Resolution order: explicit kwarg > context > ambient
+        # capture()/activate() tracer > REPRO_TRACE env singleton.  A
+        # context resolved *outside* a capture() scope carries
+        # ``tracer=None``, so the ambient session is still consulted at
+        # construction time — the pre-context semantics.  Untraced runs
+        # keep every probe at a single ``is None`` check and materialise
+        # nothing.
+        tr = ctx.tracer
+        if tr is None:
+            from repro.obs import resolve_tracer
+
+            tr = resolve_tracer(None)
         self._tracer = tr
         self._round_trace = None
         self._shard_trace = None

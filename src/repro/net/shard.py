@@ -54,6 +54,11 @@ import numpy as np
 from repro import sanitize as _sanitize
 from repro.net.vectorops import group_argsort
 
+#: Environment variable consulted when ``workers`` is not given explicitly
+#: (the harness axis); resolution lives in :mod:`repro.runtime` with the
+#: rest of the precedence chain — re-exported here for compatibility.
+from repro.runtime import WORKERS_ENV, resolve_workers
+
 __all__ = [
     "WORKERS_ENV",
     "ShardPool",
@@ -62,10 +67,6 @@ __all__ = [
     "resolve_workers",
     "shard_bounds",
 ]
-
-#: Environment variable consulted when ``workers`` is not given explicitly
-#: (the harness axis — see ``repro.experiments.harness.select_workers``).
-WORKERS_ENV = "REPRO_WORKERS"
 
 _COLUMNS = (
     # round inputs (parent writes, workers read)
@@ -87,24 +88,6 @@ _WORKER_TIMEOUT = 60.0  # seconds; a shard job is a few O(m/W) passes
 #: ``REPRO_SANITIZE=1``; any other value after a sort means a worker
 #: wrote beyond its prefix-sum range.
 _CANARY = -0x5EEDCAFE
-
-
-def resolve_workers(workers: int | None = None) -> int:
-    """Normalise a worker count (``None`` → ``REPRO_WORKERS`` → 1)."""
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
-            ) from None
-    workers = int(workers)
-    if workers < 1:
-        raise ValueError(f"worker count must be >= 1, got {workers}")
-    return workers
 
 
 def fork_available() -> bool:

@@ -34,12 +34,11 @@ accounting) without materialising any per-node structure.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro import sanitize as _sanitize
 from repro.net.batch import KINDS, MessageBatch
+from repro.runtime.envsource import env_flag
 
 __all__ = ["DEBUG_VALIDATE", "SoAInbox", "SoAProtocolClass"]
 
@@ -52,9 +51,7 @@ _NO_COLUMN = np.empty(0, dtype=np.int64)
 #: so a caller concatenating genuinely unordered columns (and then not
 #: re-sorting, as the delay queue does) fails loudly instead of handing a
 #: protocol class segments that straddle receiver groups.
-DEBUG_VALIDATE = (
-    os.environ.get("REPRO_DEBUG_SOA", "") not in ("", "0") or _sanitize.ENABLED
-)
+DEBUG_VALIDATE = env_flag("REPRO_DEBUG_SOA", False) or _sanitize.ENABLED
 
 
 class SoAInbox:

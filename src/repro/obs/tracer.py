@@ -289,7 +289,9 @@ def _env_tracer() -> Tracer | None:
     global _ENV_CHECKED, _ENV_TRACER, _ENV_PID
     if not _ENV_CHECKED:
         _ENV_CHECKED = True
-        path = os.environ.get(TRACE_ENV, "").strip()
+        from repro.runtime.envsource import read_env
+
+        path = read_env(TRACE_ENV)
         if path:
             _ENV_TRACER = Tracer(meta={"source": "env", "path": path})
             _ENV_PID = os.getpid()

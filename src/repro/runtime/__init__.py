@@ -1,0 +1,65 @@
+"""The execution-configuration layer of the stack.
+
+- :mod:`repro.runtime.context` — :class:`RunContext`, the one frozen
+  execution-config object (contract C8), built through the
+  kwarg > CLI > env > default precedence chain; plus the authoritative
+  tier vocabularies and the single-field resolvers the harness and the
+  network delegate to.
+- :mod:`repro.runtime.registry` — :data:`WORKLOADS`, named protocol
+  populations with declared tier support and the registry-backed
+  ``validate_tier`` membership check.
+- :mod:`repro.runtime.envsource` — the only module allowed to read
+  ``REPRO_*`` environment variables (repro-lint ``RL601``).
+
+This package is a *leaf*: it imports nothing from the engine layers at
+module import time, so :mod:`repro.net`, :mod:`repro.core`,
+:mod:`repro.hybrid`, and :mod:`repro.scenarios` can all import their
+choice tuples and resolvers from here without cycles.
+"""
+
+from repro.runtime.context import (
+    ENGINES,
+    EXPANDER_MODES,
+    HYBRID_TIERS,
+    ROOTING_MODES,
+    ROOTING_TIERS,
+    TIER_CHOICES,
+    TIER_KINDS,
+    WORKERS_ENV,
+    RunContext,
+    choice_specified,
+    resolve_workers,
+    select_choice,
+    workers_specified,
+)
+from repro.runtime.envsource import ENV_PREFIX, env_flag, env_int, read_env
+from repro.runtime.registry import WORKLOADS, Workload, get_workload, validate_tier
+
+__all__ = [
+    "ENGINES",
+    "ENV_PREFIX",
+    "EXPANDER_MODES",
+    "HYBRID_TIERS",
+    "ROOTING_MODES",
+    "ROOTING_TIERS",
+    "TIER_CHOICES",
+    "TIER_KINDS",
+    "WORKERS_ENV",
+    "RunContext",
+    "WORKLOADS",
+    "Workload",
+    "choice_specified",
+    "env_flag",
+    "env_int",
+    "get_workload",
+    "read_env",
+    "resolve_workers",
+    "select_choice",
+    "select_workers",
+    "validate_tier",
+    "workers_specified",
+]
+
+#: Back-compat alias: the harness historically named this
+#: ``select_workers``; both resolve through the same chain.
+select_workers = resolve_workers

@@ -33,9 +33,9 @@ sanitizer check.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
+
+from repro.runtime.envsource import env_flag
 
 __all__ = [
     "ENABLED",
@@ -46,13 +46,8 @@ __all__ = [
     "rng_state",
 ]
 
-
-def _env_enabled() -> bool:
-    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
-
-
 #: Armed by ``REPRO_SANITIZE=1`` (any value other than empty/``0``).
-ENABLED = _env_enabled()
+ENABLED = env_flag("REPRO_SANITIZE", False)
 
 
 class SanitizeError(AssertionError):

@@ -33,11 +33,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pipeline import rooting_flood_rounds
-from repro.core.protocol_tree import ROOTING_TIERS, build_rooting_population
+from repro.core.protocol_tree import build_rooting_population
 from repro.graphs.portgraph import PortGraph
 from repro.net.asynchrony import run_with_asynchrony
 from repro.net.network import CapacityPolicy
 from repro.obs import maybe_span, resolve_tracer
+from repro.runtime import RunContext, get_workload, validate_tier
 from repro.scenarios.spec import (
     CrashWave,
     LinkDelay,
@@ -64,6 +65,8 @@ def run_rooting_scenario(
     capacity: CapacityPolicy | None = None,
     max_rounds: int | None = None,
     tracer=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> dict:
     """Run one scenario cell: rooting on ``graph`` under ``spec``.
 
@@ -82,6 +85,8 @@ def run_rooting_scenario(
         max_rounds = 5 * fr + 8  # the rooting runners' default budget
     population = build_rooting_population(graph, fr, tier)
     injector = spec.compile(n)
+    if tracer is None and ctx is not None:
+        tracer = ctx.tracer
     tracer = resolve_tracer(tracer)
     # Wall time is this harness's deliverable (scenario rows report
     # duration); measurement is the point here.
@@ -104,6 +109,7 @@ def run_rooting_scenario(
             require_quiescence=False,
             fault_hook=injector,
             tracer=tracer,
+            ctx=ctx,
         )
     wall = time.perf_counter() - start  # repro-lint: disable=RL202
     if tier == "soa":
@@ -150,6 +156,8 @@ def run_churn_rebuild_scenario(
     tier: str = "soa",
     overlay_params=None,
     tracer=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> dict:
     """Run one scenario-driven churn-rebuild cell: the spec's crash waves
     kill their members for good, and the §4 hybrid pipeline rebuilds
@@ -166,11 +174,10 @@ def run_churn_rebuild_scenario(
     lets the rebuild sweep run at ``n = 10⁵``
     (``benchmarks/bench_s5_hybrid_scaling.py``).
     """
-    from repro.hybrid.components import HYBRID_TIERS, connected_components_hybrid
+    from repro.hybrid.components import connected_components_hybrid
     from repro.hybrid.soa_pipeline import CSRAdjacency, flood_min_ids_columns
 
-    if tier not in HYBRID_TIERS:
-        raise ValueError(f"tier must be one of {HYBRID_TIERS}, got {tier!r}")
+    validate_tier("hybrid", tier)
     n = graph.n
     injector = spec.compile(n)
     alive = np.ones(n, dtype=bool)
@@ -188,6 +195,8 @@ def run_churn_rebuild_scenario(
     csr = CSRAdjacency.from_graph(graph).induced_by(alive)
     truth, _ = flood_min_ids_columns(csr)
 
+    if tracer is None and ctx is not None:
+        tracer = ctx.tracer
     tracer = resolve_tracer(tracer)
     # Wall time is this harness's deliverable (scenario rows report
     # duration); measurement is the point here.
@@ -207,6 +216,7 @@ def run_churn_rebuild_scenario(
             overlay_params=overlay_params,
             tier=tier,
             tracer=tracer,
+            ctx=ctx,
         )
     wall = time.perf_counter() - start  # repro-lint: disable=RL202
     labels = result.labels
@@ -330,6 +340,13 @@ class ScenarioRunner:
     every cell — each row becomes a ``cat="scenario"`` span over its
     per-round tables.  ``None`` still resolves an ambient
     :func:`repro.obs.capture` scope inside the cell runners.
+
+    ``ctx`` (optional) threads one resolved
+    :class:`~repro.runtime.context.RunContext` through every cell —
+    workers, tracer, sanitize/debug flags — while the grid's own axes
+    (``tiers``, seeds) still come from the runner; the cell runners'
+    explicit arguments win over context fields, per the precedence
+    chain.
     """
 
     sizes: tuple[int, ...] = (512,)
@@ -340,24 +357,18 @@ class ScenarioRunner:
     workload: str = "rooting"
     overlay_params: object | None = None
     tracer: object | None = None
+    ctx: RunContext | None = None
 
     def __post_init__(self) -> None:
-        if self.workload == "rooting":
-            tier_choices = ROOTING_TIERS
-        elif self.workload == "churn-rebuild":
-            from repro.hybrid.components import HYBRID_TIERS
-
-            tier_choices = HYBRID_TIERS
-        else:
+        if self.workload not in ("rooting", "churn-rebuild"):
             raise ValueError(
                 f"workload must be 'rooting' or 'churn-rebuild', got {self.workload!r}"
             )
+        # Registry-backed tier support (repro.runtime.registry): each
+        # workload declares its tier vocabulary once.
+        workload = get_workload(self.workload)
         for tier in self.tiers:
-            if tier not in tier_choices:
-                raise ValueError(
-                    f"tier must be one of {tier_choices} for the "
-                    f"{self.workload!r} workload, got {tier!r}"
-                )
+            workload.validate_tier(tier)
         self._graphs: dict[int, PortGraph] = {}
 
     def graph_for(self, n: int) -> PortGraph:
@@ -378,9 +389,10 @@ class ScenarioRunner:
                 tier=tier,
                 overlay_params=self.overlay_params,
                 tracer=self.tracer,
+                ctx=self.ctx,
             )
         return run_rooting_scenario(
-            self.graph_for(n), spec, seed, tier=tier, tracer=self.tracer
+            self.graph_for(n), spec, seed, tier=tier, tracer=self.tracer, ctx=self.ctx
         )
 
     def run_spec(self, spec: ScenarioSpec) -> list[dict]:

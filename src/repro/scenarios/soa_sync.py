@@ -39,7 +39,7 @@ from repro.net.asynchrony import AsyncReport
 from repro.net.network import CapacityPolicy, SyncNetwork
 from repro.net.soa import SoAInbox, SoAProtocolClass
 from repro.net.vectorops import group_argsort
-from repro.obs import resolve_tracer
+from repro.runtime import RunContext
 
 __all__ = ["SoADelayQueue", "run_soa_synchroniser"]
 
@@ -160,6 +160,8 @@ def run_soa_synchroniser(
     fault_hook=None,
     workers: int | None = None,
     tracer=None,
+    *,
+    ctx: RunContext | None = None,
 ) -> tuple[AsyncReport, SyncNetwork]:
     """Drive an SoA population under the footnote-2 synchroniser.
 
@@ -177,16 +179,16 @@ def run_soa_synchroniser(
     receiver-sorted columns — so every worker count reproduces the
     identical execution, delay draws and fault streams included.
     """
-    tracer = resolve_tracer(tracer)
-    network = SyncNetwork(
-        soa_class,
-        capacity,
-        rng,
-        engine=engine,
-        fault_hook=fault_hook,
-        workers=workers,
-        tracer=tracer,
-    )
+    if ctx is None:
+        ctx = RunContext.resolve(
+            engine=engine, workers=workers, tracer=tracer, fault_hook=fault_hook
+        )
+    else:
+        ctx = ctx.with_overrides(
+            engine=engine, workers=workers, tracer=tracer, fault_hook=fault_hook
+        )
+    tracer = ctx.tracer
+    network = SyncNetwork(soa_class, capacity, rng, ctx=ctx)
     # Traced runs additionally record the synchroniser's own per-round
     # view (staged/released/held queue depths) — observation only, read
     # after each barrier; the delay draws and release order are

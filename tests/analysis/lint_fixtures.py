@@ -185,4 +185,19 @@ RULE_FIXTURES = {
         ),
         "rel_path": ENGINE_PATH,
     },
+    "RL601": {
+        "bad": (
+            "import os\n"
+            "\n"
+            "def pick_engine():\n"
+            "    return os.environ.get('REPRO_ENGINE') or 'vectorized'\n"
+        ),
+        "good": (
+            "from repro.runtime import select_choice\n"
+            "\n"
+            "def pick_engine():\n"
+            "    return select_choice('engine')\n"
+        ),
+        "rel_path": ENGINE_PATH,
+    },
 }

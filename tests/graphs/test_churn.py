@@ -178,7 +178,7 @@ class TestHybridRebuild:
 
     def test_invalid_hybrid_tier_rejected(self):
         graph = PortGraph.ring_with_chords(64, delta=16, chords=2, seed=0)
-        with pytest.raises(ValueError, match="hybrid must be one of"):
+        with pytest.raises(ValueError, match="hybrid tier must be one of"):
             rebuild_survivor_overlay(
                 graph, 0.1, np.random.default_rng(0), hybrid="warp"
             )
